@@ -1,0 +1,74 @@
+//! # dhtm-baselines
+//!
+//! The comparison designs evaluated in Section V of the paper, all
+//! implemented against the same simulator, workloads and memory system as
+//! DHTM so that only the visibility/durability mechanisms differ
+//! (mirroring Table I):
+//!
+//! | Design | Atomic visibility | Atomic durability |
+//! |---|---|---|
+//! | [`so::SoEngine`] (SO) | locks | software redo logging (Mnemosyne-like, synchronous flushes) |
+//! | [`sdtm::SdTmEngine`] (sdTM) | RTM-like HTM (L1-limited) | software logging *inside* the transaction (PHyTM-like) |
+//! | [`atom::AtomEngine`] (ATOM) | locks | hardware undo logging; data flushed in place on the commit critical path |
+//! | [`logtm_atom::LogTmAtomEngine`] (LogTM-ATOM) | LogTM-style eager HTM with NACK stalling and overflow | ATOM-style hardware undo logging |
+//! | [`NpEngine`] (NP) | RTM-like HTM | none (volatile upper bound) |
+//!
+//! Every engine implements [`dhtm_sim::engine::TxEngine`]; the factory
+//! [`build_engine`] constructs any design (including DHTM itself) from a
+//! [`DesignKind`], which is what the benchmark harness uses.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod atom;
+pub mod logtm_atom;
+pub mod sdtm;
+pub mod so;
+
+pub use atom::AtomEngine;
+pub use logtm_atom::LogTmAtomEngine;
+pub use sdtm::SdTmEngine;
+pub use so::SoEngine;
+
+/// The volatile non-persistent HTM baseline (NP) is the RTM engine from
+/// `dhtm-htm`, re-exported under its evaluation name.
+pub use dhtm_htm::rtm::RtmEngine as NpEngine;
+
+use dhtm_sim::engine::TxEngine;
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+
+/// Builds the engine for any of the paper's designs.
+///
+/// ```
+/// use dhtm_baselines::build_engine;
+/// use dhtm_types::config::SystemConfig;
+/// use dhtm_types::policy::DesignKind;
+///
+/// let engine = build_engine(DesignKind::Dhtm, &SystemConfig::small_test());
+/// assert_eq!(engine.design(), DesignKind::Dhtm);
+/// ```
+pub fn build_engine(kind: DesignKind, cfg: &SystemConfig) -> Box<dyn TxEngine> {
+    match kind {
+        DesignKind::SoftwareOnly => Box::new(SoEngine::new(cfg)),
+        DesignKind::SdTm => Box::new(SdTmEngine::new(cfg)),
+        DesignKind::Atom => Box::new(AtomEngine::new(cfg)),
+        DesignKind::LogTmAtom => Box::new(LogTmAtomEngine::new(cfg)),
+        DesignKind::Dhtm => Box::new(dhtm::DhtmEngine::new(cfg)),
+        DesignKind::NonPersistent => Box::new(NpEngine::new(cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_design() {
+        let cfg = SystemConfig::small_test();
+        for kind in DesignKind::ALL {
+            let engine = build_engine(kind, &cfg);
+            assert_eq!(engine.design(), kind, "factory must preserve the design kind");
+        }
+    }
+}

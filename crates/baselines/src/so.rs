@@ -1,0 +1,332 @@
+//! The software-only (SO) baseline: locks for atomic visibility and
+//! Mnemosyne-like software redo logging for atomic durability.
+//!
+//! SO is the normalisation baseline of every figure in the paper. Its costs
+//! are:
+//!
+//! * lock acquisition/release instructions at transaction boundaries and
+//!   spinning when a lock is contended;
+//! * a software-composed redo log entry for every cache line written, flushed
+//!   *synchronously* (streaming store + fence) as soon as the line's value is
+//!   finalised — the flush latency sits squarely on the critical path;
+//! * a durable commit record at transaction end; data write-back happens
+//!   lazily off the critical path (redo logging).
+
+use std::collections::BTreeSet;
+
+use dhtm_coherence::probe::NoConflicts;
+use dhtm_nvm::record::LogRecord;
+use dhtm_types::addr::{Address, LineAddr};
+use dhtm_types::config::SystemConfig;
+use dhtm_types::ids::{CoreId, ThreadId, TxId};
+use dhtm_types::policy::DesignKind;
+use dhtm_types::stats::{AbortReason, TxStats};
+
+use dhtm_sim::engine::{StepOutcome, TxEngine};
+use dhtm_sim::locks::{LockId, LockTable};
+use dhtm_sim::machine::Machine;
+
+/// Cycles a core spins before re-checking a contended lock.
+const LOCK_SPIN: u64 = 60;
+
+/// Per-core state of the SO engine.
+#[derive(Debug, Clone, Default)]
+struct SoCore {
+    tx: TxId,
+    active: bool,
+    logged_lines: BTreeSet<LineAddr>,
+    read_lines: BTreeSet<LineAddr>,
+    written_lines: BTreeSet<LineAddr>,
+    loads: usize,
+    stores: usize,
+    log_records: usize,
+    begin_cycle: u64,
+    next_begin_at: u64,
+    last_stats: TxStats,
+}
+
+/// The SO (locks + software logging) engine.
+#[derive(Debug)]
+pub struct SoEngine {
+    cores: Vec<SoCore>,
+    locks: LockTable,
+    log_entry_setup: u64,
+    persist_fence: u64,
+    lock_acquire: u64,
+    lock_release: u64,
+}
+
+impl SoEngine {
+    /// Creates an SO engine for machines built from `cfg`.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        SoEngine {
+            cores: Vec::new(),
+            locks: LockTable::new(),
+            log_entry_setup: cfg.software.log_entry_setup,
+            persist_fence: cfg.software.persist_fence,
+            lock_acquire: cfg.software.lock_acquire,
+            lock_release: cfg.software.lock_release,
+        }
+    }
+
+    fn handle_victim(&mut self, machine: &mut Machine, core: CoreId, now: u64) {
+        // SO has no speculative state: victims are handled like any
+        // non-transactional eviction.
+        let _ = (machine, core, now);
+    }
+
+    fn plain_access(
+        machine: &mut Machine,
+        core: CoreId,
+        addr: Address,
+        write: bool,
+        now: u64,
+    ) -> u64 {
+        let line = addr.line();
+        let out = if write {
+            machine.mem.store(core, line, now, &mut NoConflicts)
+        } else {
+            machine.mem.load(core, line, now, &mut NoConflicts)
+        };
+        if let Some((vline, ventry)) = out.evicted_victim.clone() {
+            machine.mem.evict_nontransactional(core, vline, &ventry, now);
+        }
+        out.done
+    }
+}
+
+impl TxEngine for SoEngine {
+    fn design(&self) -> DesignKind {
+        DesignKind::SoftwareOnly
+    }
+
+    fn init(&mut self, machine: &mut Machine) {
+        self.cores = vec![SoCore::default(); machine.num_cores()];
+        self.locks = LockTable::new();
+    }
+
+    fn begin(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        lock_set: &[LockId],
+        now: u64,
+    ) -> StepOutcome {
+        let start = now.max(self.cores[core.get()].next_begin_at);
+        if !self.locks.try_acquire_all(core, lock_set) {
+            return StepOutcome::Stall {
+                retry_at: start + LOCK_SPIN,
+            };
+        }
+        let c = &mut self.cores[core.get()];
+        c.tx = machine.tx_ids.allocate();
+        c.active = true;
+        c.logged_lines.clear();
+        c.read_lines.clear();
+        c.written_lines.clear();
+        c.loads = 0;
+        c.stores = 0;
+        c.log_records = 0;
+        c.begin_cycle = start;
+        let cost = self.lock_acquire * lock_set.len().max(1) as u64;
+        StepOutcome::done(start + cost)
+    }
+
+    fn read(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        addr: Address,
+        now: u64,
+    ) -> StepOutcome {
+        let done = Self::plain_access(machine, core, addr, false, now);
+        self.handle_victim(machine, core, now);
+        let c = &mut self.cores[core.get()];
+        c.loads += 1;
+        c.read_lines.insert(addr.line());
+        StepOutcome::done(done)
+    }
+
+    fn write(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        addr: Address,
+        value: u64,
+        now: u64,
+    ) -> StepOutcome {
+        let done = Self::plain_access(machine, core, addr, true, now);
+        machine.mem.write_word_in_l1(core, addr, value);
+        let line = addr.line();
+        let needs_log = {
+            let c = &mut self.cores[core.get()];
+            c.stores += 1;
+            c.written_lines.insert(line);
+            c.logged_lines.insert(line)
+        };
+        if !needs_log {
+            return StepOutcome::done(done);
+        }
+        // First store to this line: compose a redo-log entry in software and
+        // flush it synchronously (streaming store + fence) — the latency is
+        // on the critical path, which is exactly the overhead hardware
+        // logging removes.
+        let tx = self.cores[core.get()].tx;
+        let data = machine
+            .mem
+            .l1(core)
+            .entry(line)
+            .map(|e| e.data)
+            .unwrap_or_default();
+        let record = LogRecord::redo(tx, line, data);
+        let bytes = record.size_bytes();
+        let thread = ThreadId::from(core);
+        if machine
+            .mem
+            .domain_mut()
+            .log_mut(thread)
+            .append(record)
+            .is_err()
+        {
+            // Software logs are sized by the runtime; model an overflow as a
+            // transaction failure that retries after the log is reclaimed.
+            machine.mem.domain_mut().log_mut(thread).reclaim();
+            self.locks.release_all(core);
+            self.cores[core.get()].active = false;
+            return StepOutcome::Aborted {
+                at: done,
+                retry_at: done,
+                reason: AbortReason::LogOverflow,
+            };
+        }
+        self.cores[core.get()].log_records += 1;
+        let setup_done = done + self.log_entry_setup;
+        let durable = machine.mem.persist_log_bytes(setup_done, bytes) + self.persist_fence;
+        StepOutcome::done(durable)
+    }
+
+    fn commit(&mut self, machine: &mut Machine, core: CoreId, now: u64) -> StepOutcome {
+        let thread = ThreadId::from(core);
+        let tx = self.cores[core.get()].tx;
+        // Durable commit record, then the transaction is committed.
+        let commit_rec = LogRecord::commit(tx);
+        let bytes = commit_rec.size_bytes();
+        let _ = machine.mem.domain_mut().log_mut(thread).append(commit_rec);
+        let commit_done =
+            machine.mem.persist_log_bytes(now + self.log_entry_setup, bytes) + self.persist_fence;
+
+        // Data write-back is lazy (redo logging): charge the bandwidth but do
+        // not wait for it before releasing the locks.
+        let written: Vec<LineAddr> = self.cores[core.get()].written_lines.iter().copied().collect();
+        let mut completion = commit_done;
+        for line in written {
+            if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, commit_done) {
+                completion = completion.max(done);
+            }
+        }
+        let _ = machine
+            .mem
+            .domain_mut()
+            .log_mut(thread)
+            .append(LogRecord::complete(tx));
+        machine.mem.domain_mut().log_mut(thread).reclaim();
+
+        self.locks.release_all(core);
+        let release_done = commit_done + self.lock_release;
+        let c = &mut self.cores[core.get()];
+        c.active = false;
+        c.next_begin_at = completion.max(release_done);
+        c.last_stats = TxStats {
+            read_set_lines: c.read_lines.len(),
+            write_set_lines: c.written_lines.len(),
+            stores: c.stores,
+            loads: c.loads,
+            log_records: c.log_records,
+            cycles: release_done.saturating_sub(c.begin_cycle),
+            aborts_before_commit: 0,
+        };
+        StepOutcome::done(release_done)
+    }
+
+    fn last_tx_stats(&mut self, core: CoreId) -> TxStats {
+        self.cores[core.get()].last_stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtm_nvm::recovery::RecoveryManager;
+
+    fn setup() -> (Machine, SoEngine) {
+        let cfg = SystemConfig::small_test();
+        let mut m = Machine::new(cfg.clone());
+        let mut e = SoEngine::new(&cfg);
+        e.init(&mut m);
+        (m, e)
+    }
+
+    fn c(i: usize) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn committed_so_transaction_is_durable() {
+        let (mut m, mut e) = setup();
+        let addr = Address::new(0x3000);
+        assert!(e.begin(&mut m, c(0), &[LockId(1)], 0).is_done());
+        assert!(e.write(&mut m, c(0), addr, 11, 10).is_done());
+        assert!(e.commit(&mut m, c(0), 2000).is_done());
+        assert_eq!(m.mem.domain().read_word(addr), 11);
+        // Crash and recover: value still there.
+        let mut crashed = m.mem.domain().crash_snapshot();
+        RecoveryManager::new().recover(&mut crashed).unwrap();
+        assert_eq!(crashed.memory().read_word(addr), 11);
+    }
+
+    #[test]
+    fn lock_contention_stalls_second_core() {
+        let (mut m, mut e) = setup();
+        assert!(e.begin(&mut m, c(0), &[LockId(5)], 0).is_done());
+        let out = e.begin(&mut m, c(1), &[LockId(5)], 10);
+        assert!(matches!(out, StepOutcome::Stall { .. }));
+        // After core 0 commits, core 1 can proceed.
+        e.commit(&mut m, c(0), 100);
+        assert!(e.begin(&mut m, c(1), &[LockId(5)], 5000).is_done());
+    }
+
+    #[test]
+    fn disjoint_lock_sets_run_concurrently() {
+        let (mut m, mut e) = setup();
+        assert!(e.begin(&mut m, c(0), &[LockId(1)], 0).is_done());
+        assert!(e.begin(&mut m, c(1), &[LockId(2)], 0).is_done());
+    }
+
+    #[test]
+    fn synchronous_log_flush_is_on_the_critical_path() {
+        let (mut m, mut e) = setup();
+        e.begin(&mut m, c(0), &[LockId(1)], 0);
+        let out = e.write(&mut m, c(0), Address::new(0x3000), 1, 10);
+        let StepOutcome::Done { at } = out else { panic!() };
+        // The store completes only after the NVM write latency (the flush).
+        assert!(at >= 10 + m.mem.latency().nvm_write);
+        // A second store to the same line coalesces: no new flush.
+        let out2 = e.write(&mut m, c(0), Address::new(0x3008), 2, at);
+        let StepOutcome::Done { at: at2 } = out2 else { panic!() };
+        assert!(at2 - at < m.mem.latency().nvm_write);
+    }
+
+    #[test]
+    fn commit_stats_reflect_footprint() {
+        let (mut m, mut e) = setup();
+        e.begin(&mut m, c(0), &[LockId(1)], 0);
+        e.read(&mut m, c(0), Address::new(0x100), 10);
+        e.write(&mut m, c(0), Address::new(0x3000), 1, 20);
+        e.write(&mut m, c(0), Address::new(0x3040), 2, 3000);
+        e.commit(&mut m, c(0), 8000);
+        let stats = e.last_tx_stats(c(0));
+        assert_eq!(stats.write_set_lines, 2);
+        assert_eq!(stats.read_set_lines, 1);
+        assert_eq!(stats.log_records, 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! End-to-end criterion benchmarks: one small simulation per design on the
+//! hash micro-benchmark (a scaled-down Figure 5 data point), so that
+//! `cargo bench` exercises the full stack of every design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhtm_bench::run_pair;
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+
+fn bench_designs(c: &mut Criterion) {
+    let cfg = SystemConfig::isca18_baseline();
+    let mut group = c.benchmark_group("simulate_hash_50_commits");
+    group.sample_size(10);
+    for design in DesignKind::ALL {
+        group.bench_function(design.label(), |b| {
+            b.iter(|| run_pair(design, "hash", &cfg, 50).stats.committed)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

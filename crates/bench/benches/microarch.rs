@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the core hardware structures: the log
+//! buffer (coalescing), the read-set signature, the memory channel and the
+//! recovery manager. These quantify the per-operation cost of the structures
+//! that the DHTM engine exercises on every transactional store.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dhtm_cache::log_buffer::LogBuffer;
+use dhtm_cache::signature::ReadSignature;
+use dhtm_nvm::bandwidth::MemoryChannel;
+use dhtm_nvm::domain::PersistentDomain;
+use dhtm_nvm::record::LogRecord;
+use dhtm_nvm::recovery::RecoveryManager;
+use dhtm_types::{LineAddr, ThreadId, TxId};
+
+fn bench_log_buffer(c: &mut Criterion) {
+    c.bench_function("log_buffer/coalescing_64_entries", |b| {
+        b.iter_batched(
+            || LogBuffer::new(64),
+            |mut buf| {
+                for i in 0..1000u64 {
+                    let _ = buf.record_store(LineAddr::new(i % 128));
+                }
+                buf.drain().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_signature(c: &mut Criterion) {
+    c.bench_function("signature/insert_and_probe_2048_bits", |b| {
+        b.iter_batched(
+            || ReadSignature::new(2048),
+            |mut sig| {
+                for i in 0..256u64 {
+                    sig.insert(LineAddr::new(i * 3));
+                }
+                (0..256u64).filter(|&i| sig.maybe_contains(LineAddr::new(i))).count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    c.bench_function("memory_channel/1000_line_transfers", |b| {
+        b.iter_batched(
+            MemoryChannel::isca18_baseline,
+            |mut ch| {
+                let mut t = 0;
+                for i in 0..1000u64 {
+                    t = ch.request(i * 10, 64);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    c.bench_function("recovery/replay_100_transactions", |b| {
+        b.iter_batched(
+            || {
+                let mut d = PersistentDomain::new(4, 4096, 256);
+                for i in 0..100u64 {
+                    let tx = TxId::new(i + 1);
+                    let t = ThreadId::new((i % 4) as usize);
+                    for j in 0..8u64 {
+                        d.log_mut(t)
+                            .append(LogRecord::redo(tx, LineAddr::new(i * 8 + j), [i; 8]))
+                            .unwrap();
+                    }
+                    d.log_mut(t).append(LogRecord::commit(tx)).unwrap();
+                }
+                d
+            },
+            |mut d| RecoveryManager::new().recover(&mut d).unwrap().replayed_transactions,
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_log_buffer, bench_signature, bench_channel, bench_recovery
+}
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Table II: the hardware state DHTM adds on top of an RTM-like HTM.
+
+use dhtm::hw_overhead::{hardware_overhead, total_overhead_bytes};
+use dhtm_types::config::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::isca18_baseline();
+    println!("# Table II: DHTM hardware overhead (per core, 64-entry log buffer)");
+    println!("| {:<28} | {:<42} | bits |", "register", "description");
+    for reg in hardware_overhead(&cfg) {
+        println!("| {:<28} | {:<42} | {} |", reg.name, reg.description, reg.bits);
+    }
+    println!("total: {} bytes per core", total_overhead_bytes(&cfg));
+}

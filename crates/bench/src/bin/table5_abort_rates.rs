@@ -1,0 +1,24 @@
+//! Table V: abort rates (%) of sdTM and DHTM on the micro-benchmarks.
+
+use dhtm_bench::{print_row, run_pair, default_commits_for, MICRO_NAMES};
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+
+fn main() {
+    let cfg = SystemConfig::isca18_baseline();
+    println!("# Table V: abort rates (%)");
+    println!("# Paper reference: sdTM avg 37%, DHTM avg 21%");
+    print_row("design", &MICRO_NAMES.iter().map(|s| s.to_string()).chain(["Ave.".into()]).collect::<Vec<_>>());
+    for design in [DesignKind::SdTm, DesignKind::Dhtm] {
+        let mut row = Vec::new();
+        let mut sum = 0.0;
+        for wl in MICRO_NAMES {
+            let res = run_pair(design, wl, &cfg, default_commits_for(wl));
+            let rate = res.stats.abort_rate_percent();
+            sum += rate;
+            row.push(format!("{rate:.0}"));
+        }
+        row.push(format!("{:.0}", sum / MICRO_NAMES.len() as f64));
+        print_row(design.label(), &row);
+    }
+}

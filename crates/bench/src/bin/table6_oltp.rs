@@ -1,0 +1,22 @@
+//! Table VI: TATP and TPC-C throughput of ATOM and DHTM normalised to SO.
+
+use dhtm_bench::{normalised_throughput, print_row, run_designs};
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+
+fn main() {
+    let cfg = SystemConfig::isca18_baseline();
+    println!("# Table VI: OLTP throughput normalised to SO");
+    println!("# Paper reference: TPC-C  SO 1.00 / ATOM 1.67 / DHTM 1.88");
+    println!("#                  TATP   SO 1.00 / ATOM 1.27 / DHTM 1.53");
+    let designs = [DesignKind::SoftwareOnly, DesignKind::Atom, DesignKind::Dhtm];
+    print_row("workload", &["SO".into(), "ATOM".into(), "DHTM".into()]);
+    for wl in ["tpcc", "tatp"] {
+        let results = run_designs(&designs, wl, &cfg);
+        let row: Vec<String> = designs
+            .iter()
+            .map(|&d| format!("{:.2}", normalised_throughput(&results, d)))
+            .collect();
+        print_row(wl, &row);
+    }
+}

@@ -1,0 +1,162 @@
+//! # dhtm-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Section VI). Each experiment is a small binary under
+//! `src/bin/` that prints the same rows/series the paper reports, normalised
+//! to the SO baseline exactly as the paper does:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig5_throughput` | Figure 5 — micro-benchmark throughput of sdTM/ATOM/LogTM-ATOM/DHTM normalised to SO |
+//! | `table5_abort_rates` | Table V — abort rates of sdTM and DHTM |
+//! | `fig6_log_buffer` | Figure 6 — sensitivity to the log-buffer size (hash) |
+//! | `table6_oltp` | Table VI — TATP and TPC-C throughput of ATOM and DHTM normalised to SO |
+//! | `table7_bandwidth` | Table VII — NP and DHTM vs SO under 1×/2×/10× memory bandwidth (hash) |
+//! | `ablation_instant_writes` | §VI-D — idealised instant-write DHTM |
+//! | `table4_write_sets` | Table IV — workload write-set sizes |
+//! | `table2_hw_overhead` | Table II — hardware overhead |
+//!
+//! Shared plumbing lives in this library crate: building engines and
+//! workloads by name, running one (design, workload) pair, and formatting
+//! normalised results.
+
+#![warn(missing_docs)]
+
+use dhtm_baselines::build_engine;
+use dhtm_sim::driver::{RunLimits, SimulationResult, Simulator};
+use dhtm_sim::machine::Machine;
+use dhtm_sim::workload::Workload;
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+use dhtm_workloads::{micro_by_name, TatpWorkload, TpccWorkload};
+
+/// Seed used by all experiments (results are deterministic given the seed).
+pub const EXPERIMENT_SEED: u64 = 0x15CA_2018;
+
+/// The six micro-benchmark names in the paper's order.
+pub const MICRO_NAMES: [&str; 6] = ["queue", "hash", "sdg", "sps", "btree", "rbtree"];
+
+/// Builds a workload by name ("queue".."rbtree", "tatp", "tpcc").
+///
+/// # Panics
+///
+/// Panics if the name is unknown.
+pub fn workload_by_name(name: &str, seed: u64) -> Box<dyn Workload> {
+    match name {
+        "tatp" => Box::new(TatpWorkload::new(seed)),
+        "tpcc" => Box::new(TpccWorkload::new(seed)),
+        other => micro_by_name(other, seed).unwrap_or_else(|| panic!("unknown workload {other}")),
+    }
+}
+
+/// Commit targets appropriate for each workload class (OLTP transactions are
+/// an order of magnitude larger than the micro-benchmark batches).
+pub fn default_commits_for(workload: &str) -> u64 {
+    match workload {
+        "tpcc" => 64,
+        "tatp" => 160,
+        _ => 400,
+    }
+}
+
+/// Runs one (design, workload) pair on a fresh machine and returns the
+/// simulation result.
+pub fn run_pair(
+    design: DesignKind,
+    workload_name: &str,
+    cfg: &SystemConfig,
+    commits: u64,
+) -> SimulationResult {
+    let mut machine = Machine::new(cfg.clone());
+    let mut engine = build_engine(design, cfg);
+    let mut workload = workload_by_name(workload_name, EXPERIMENT_SEED);
+    let limits = RunLimits::evaluation().with_target_commits(commits);
+    Simulator::new().run(&mut machine, engine.as_mut(), workload.as_mut(), &limits)
+}
+
+/// Runs `designs` on `workload_name` and returns `(design, result)` pairs.
+pub fn run_designs(
+    designs: &[DesignKind],
+    workload_name: &str,
+    cfg: &SystemConfig,
+) -> Vec<(DesignKind, SimulationResult)> {
+    let commits = default_commits_for(workload_name);
+    designs
+        .iter()
+        .map(|&d| (d, run_pair(d, workload_name, cfg, commits)))
+        .collect()
+}
+
+/// Throughput of `design` normalised to the SO result in the same set.
+pub fn normalised_throughput(
+    results: &[(DesignKind, SimulationResult)],
+    design: DesignKind,
+) -> f64 {
+    let so = results
+        .iter()
+        .find(|(d, _)| *d == DesignKind::SoftwareOnly)
+        .map(|(_, r)| r.throughput())
+        .unwrap_or(1.0);
+    let target = results
+        .iter()
+        .find(|(d, _)| *d == design)
+        .map(|(_, r)| r.throughput())
+        .unwrap_or(0.0);
+    if so > 0.0 {
+        target / so
+    } else {
+        0.0
+    }
+}
+
+/// Prints a markdown-style table row.
+pub fn print_row(label: &str, values: &[String]) {
+    println!("| {:<12} | {} |", label, values.join(" | "));
+}
+
+/// Geometric mean helper used for "Ave." columns.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_resolve_by_name() {
+        for name in MICRO_NAMES.iter().chain(["tatp", "tpcc"].iter()) {
+            assert_eq!(workload_by_name(name, 1).name(), *name);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn quick_pair_run_produces_commits() {
+        let cfg = SystemConfig::small_test();
+        let res = run_pair(DesignKind::Dhtm, "hash", &cfg, 20);
+        assert_eq!(res.stats.committed, 20);
+        assert!(res.throughput() > 0.0);
+    }
+
+    #[test]
+    fn normalisation_is_relative_to_so() {
+        let cfg = SystemConfig::small_test();
+        let results = vec![
+            (DesignKind::SoftwareOnly, run_pair(DesignKind::SoftwareOnly, "hash", &cfg, 10)),
+            (DesignKind::Dhtm, run_pair(DesignKind::Dhtm, "hash", &cfg, 10)),
+        ];
+        let so_norm = normalised_throughput(&results, DesignKind::SoftwareOnly);
+        assert!((so_norm - 1.0).abs() < 1e-9);
+        assert!(normalised_throughput(&results, DesignKind::Dhtm) > 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The DHTM log buffer (Section III-A, "Log coalescing").
+//!
+//! The log buffer is a small fully-associative structure attached to the L1
+//! that tracks cache-line addresses with pending redo-log writes. A store
+//! inserts its line address (if absent); a log entry is only written to
+//! persistent memory when an address is *evicted* from the buffer — either
+//! because the buffer is full and space is needed, or because the tracked L1
+//! line itself is being replaced. Eviction thus acts as a conservative
+//! prediction of the last store to the line, coalescing all earlier stores to
+//! that line into a single cache-line-granular log write. At transaction end
+//! every address still in the buffer is drained and logged.
+//!
+//! This buffer is *not* LogTM's log buffer (which hides L1 port contention):
+//! its sole purpose is write coalescing and last-store prediction.
+
+use std::collections::VecDeque;
+
+use dhtm_types::addr::LineAddr;
+
+/// A fully-associative FIFO buffer of cache-line addresses with pending log
+/// writes.
+#[derive(Debug, Clone)]
+pub struct LogBuffer {
+    capacity: usize,
+    entries: VecDeque<LineAddr>,
+    inserts: u64,
+    coalesced_hits: u64,
+    evictions: u64,
+}
+
+impl LogBuffer {
+    /// Creates a buffer with space for `capacity` line addresses (the paper's
+    /// default is 64; Figure 6 sweeps 4–128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "log buffer capacity must be positive");
+        LogBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            inserts: 0,
+            coalesced_hits: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of tracked addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `line` is currently tracked.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains(&line)
+    }
+
+    /// Records a store to `line`.
+    ///
+    /// Returns the address evicted to make room, if any: the caller (the L1
+    /// controller) must write a redo-log entry for the evicted line at this
+    /// point. If the line was already tracked the store is coalesced and
+    /// nothing is returned.
+    pub fn record_store(&mut self, line: LineAddr) -> Option<LineAddr> {
+        if self.entries.contains(&line) {
+            self.coalesced_hits += 1;
+            return None;
+        }
+        self.inserts += 1;
+        let evicted = if self.entries.len() >= self.capacity {
+            self.evictions += 1;
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back(line);
+        evicted
+    }
+
+    /// Removes `line` from the buffer because the corresponding L1 line is
+    /// being replaced (situation (b) in Section III-A). Returns `true` if it
+    /// was present — in which case the caller must log it now.
+    pub fn remove(&mut self, line: LineAddr) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&l| l == line) {
+            self.entries.remove(pos);
+            self.evictions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drains every tracked address (transaction end): the caller logs each
+    /// one. Addresses are returned oldest-first.
+    pub fn drain(&mut self) -> Vec<LineAddr> {
+        self.evictions += self.entries.len() as u64;
+        self.entries.drain(..).collect()
+    }
+
+    /// Clears the buffer without logging (transaction abort).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of distinct line insertions.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Number of stores that were coalesced into an existing entry.
+    pub fn coalesced_hits(&self) -> u64 {
+        self.coalesced_hits
+    }
+
+    /// Number of entries evicted (each corresponds to one log write, plus the
+    /// drain at transaction end).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_to_same_line_coalesce() {
+        let mut b = LogBuffer::new(4);
+        assert_eq!(b.record_store(LineAddr::new(1)), None);
+        assert_eq!(b.record_store(LineAddr::new(1)), None);
+        assert_eq!(b.record_store(LineAddr::new(1)), None);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.coalesced_hits(), 2);
+        assert_eq!(b.inserts(), 1);
+    }
+
+    #[test]
+    fn figure_2c_example_two_log_writes_for_five_stores() {
+        // Single-entry buffer; stores A0=1, A1=2, A0=3, B0=1, B1=2.
+        // Only the eviction of A (when B arrives) and the drain of B at
+        // transaction end generate log writes: 2 writes for 5 stores.
+        let mut b = LogBuffer::new(1);
+        let a = LineAddr::new(0xA);
+        let bb = LineAddr::new(0xB);
+        let mut log_writes = 0;
+        for line in [a, a, a, bb, bb] {
+            if b.record_store(line).is_some() {
+                log_writes += 1;
+            }
+        }
+        log_writes += b.drain().len();
+        assert_eq!(log_writes, 2);
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut b = LogBuffer::new(2);
+        b.record_store(LineAddr::new(1));
+        b.record_store(LineAddr::new(2));
+        let evicted = b.record_store(LineAddr::new(3));
+        assert_eq!(evicted, Some(LineAddr::new(1)));
+        assert!(b.contains(LineAddr::new(2)));
+        assert!(b.contains(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn remove_on_l1_replacement() {
+        let mut b = LogBuffer::new(4);
+        b.record_store(LineAddr::new(7));
+        assert!(b.remove(LineAddr::new(7)));
+        assert!(!b.remove(LineAddr::new(7)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn drain_returns_all_oldest_first() {
+        let mut b = LogBuffer::new(4);
+        for i in 0..3u64 {
+            b.record_store(LineAddr::new(i));
+        }
+        let drained = b.drain();
+        assert_eq!(drained, vec![LineAddr::new(0), LineAddr::new(1), LineAddr::new(2)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_discards_without_counting_drain_evictions() {
+        let mut b = LogBuffer::new(4);
+        b.record_store(LineAddr::new(1));
+        let evictions_before = b.evictions();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.evictions(), evictions_before);
+    }
+
+    #[test]
+    fn larger_buffer_coalesces_at_least_as_well() {
+        // A reuse-heavy store stream: the number of log writes with a large
+        // buffer must not exceed the number with a small buffer.
+        let stream: Vec<LineAddr> = (0..200u64).map(|i| LineAddr::new(i % 16)).collect();
+        let count = |cap: usize| {
+            let mut b = LogBuffer::new(cap);
+            let mut writes = 0;
+            for &l in &stream {
+                if b.record_store(l).is_some() {
+                    writes += 1;
+                }
+            }
+            writes + b.drain().len()
+        };
+        let small = count(4);
+        let large = count(64);
+        assert!(large <= small, "large {large} vs small {small}");
+        // With 16 distinct lines and a 64-entry buffer, exactly 16 log writes.
+        assert_eq!(large, 16);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut b = LogBuffer::new(3);
+        for i in 0..100u64 {
+            b.record_store(LineAddr::new(i));
+            assert!(b.len() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        LogBuffer::new(0);
+    }
+}

@@ -1,0 +1,93 @@
+//! MESI coherence states.
+//!
+//! The private L1s are kept coherent with a MESI directory protocol with
+//! forwarding (the paper's system model points at the protocol of Section 8.2
+//! of Sorin, Hill & Wood's coherence primer). The same state enum is used for
+//! the L1 line state and (with a slightly different interpretation) for the
+//! directory state kept in the LLC.
+
+use std::fmt;
+
+/// The four stable MESI states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MesiState {
+    /// The line is not present (or no core holds it, for a directory entry).
+    #[default]
+    Invalid,
+    /// The line is present read-only and may be cached by other cores too.
+    Shared,
+    /// The line is present read-only in exactly this cache and is clean.
+    Exclusive,
+    /// The line is writable in exactly one cache and may be dirty.
+    Modified,
+}
+
+impl MesiState {
+    /// Whether a core holding the line in this state may read it without a
+    /// coherence transaction.
+    pub fn can_read(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+
+    /// Whether a core holding the line in this state may write it without a
+    /// coherence transaction.
+    pub fn can_write(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// Whether the state implies a single owner.
+    pub fn is_exclusive_like(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MesiState::Invalid => "I",
+            MesiState::Shared => "S",
+            MesiState::Exclusive => "E",
+            MesiState::Modified => "M",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_permissions() {
+        assert!(!MesiState::Invalid.can_read());
+        assert!(MesiState::Shared.can_read());
+        assert!(MesiState::Exclusive.can_read());
+        assert!(MesiState::Modified.can_read());
+
+        assert!(!MesiState::Invalid.can_write());
+        assert!(!MesiState::Shared.can_write());
+        assert!(MesiState::Exclusive.can_write());
+        assert!(MesiState::Modified.can_write());
+    }
+
+    #[test]
+    fn exclusivity() {
+        assert!(MesiState::Modified.is_exclusive_like());
+        assert!(MesiState::Exclusive.is_exclusive_like());
+        assert!(!MesiState::Shared.is_exclusive_like());
+        assert!(!MesiState::Invalid.is_exclusive_like());
+    }
+
+    #[test]
+    fn default_is_invalid_and_display_single_letter() {
+        assert_eq!(MesiState::default(), MesiState::Invalid);
+        for (s, l) in [
+            (MesiState::Invalid, "I"),
+            (MesiState::Shared, "S"),
+            (MesiState::Exclusive, "E"),
+            (MesiState::Modified, "M"),
+        ] {
+            assert_eq!(s.to_string(), l);
+        }
+    }
+}

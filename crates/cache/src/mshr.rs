@@ -1,0 +1,134 @@
+//! Miss-status holding register (MSHR) bookkeeping.
+//!
+//! The paper's configuration provisions 32 MSHRs (Table III). With in-order
+//! cores the MSHRs rarely throttle execution, but the structure is modelled
+//! so that miss concurrency is bounded and can be reported.
+
+use std::collections::HashSet;
+
+use dhtm_types::addr::LineAddr;
+
+/// A file of miss-status holding registers tracking outstanding line misses.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    outstanding: HashSet<LineAddr>,
+    allocation_failures: u64,
+    peak: usize,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile {
+            capacity,
+            outstanding: HashSet::new(),
+            allocation_failures: 0,
+            peak: 0,
+        }
+    }
+
+    /// Capacity in registers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently outstanding misses.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Attempts to allocate an MSHR for a miss on `line`.
+    ///
+    /// Returns `true` on success (or if the miss is already outstanding, in
+    /// which case the request would merge into the existing MSHR). Returns
+    /// `false` if all registers are busy; the requester must stall and retry.
+    pub fn allocate(&mut self, line: LineAddr) -> bool {
+        if self.outstanding.contains(&line) {
+            return true;
+        }
+        if self.outstanding.len() >= self.capacity {
+            self.allocation_failures += 1;
+            return false;
+        }
+        self.outstanding.insert(line);
+        self.peak = self.peak.max(self.outstanding.len());
+        true
+    }
+
+    /// Releases the MSHR for `line` once the fill completes.
+    pub fn release(&mut self, line: LineAddr) {
+        self.outstanding.remove(&line);
+    }
+
+    /// Number of allocation attempts that failed because the file was full.
+    pub fn allocation_failures(&self) -> u64 {
+        self.allocation_failures
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Clears all outstanding entries.
+    pub fn clear(&mut self) {
+        self.outstanding.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(LineAddr::new(1)));
+        assert!(m.allocate(LineAddr::new(2)));
+        assert_eq!(m.outstanding(), 2);
+        assert!(!m.allocate(LineAddr::new(3)), "file full");
+        m.release(LineAddr::new(1));
+        assert!(m.allocate(LineAddr::new(3)));
+        assert_eq!(m.allocation_failures(), 1);
+    }
+
+    #[test]
+    fn duplicate_miss_merges() {
+        let mut m = MshrFile::new(1);
+        assert!(m.allocate(LineAddr::new(5)));
+        assert!(m.allocate(LineAddr::new(5)), "secondary miss merges");
+        assert_eq!(m.outstanding(), 1);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_maximum() {
+        let mut m = MshrFile::new(4);
+        for i in 0..3u64 {
+            m.allocate(LineAddr::new(i));
+        }
+        m.release(LineAddr::new(0));
+        m.release(LineAddr::new(1));
+        assert_eq!(m.peak_occupancy(), 3);
+        assert_eq!(m.outstanding(), 1);
+    }
+
+    #[test]
+    fn clear_resets_outstanding() {
+        let mut m = MshrFile::new(2);
+        m.allocate(LineAddr::new(1));
+        m.clear();
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

@@ -1,0 +1,323 @@
+//! A generic set-associative cache array with true-LRU replacement.
+
+use std::collections::HashMap;
+
+use dhtm_types::addr::LineAddr;
+use dhtm_types::config::CacheGeometry;
+
+/// One occupied way of a set.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    line: LineAddr,
+    last_use: u64,
+    entry: T,
+}
+
+/// A set-associative cache array mapping [`LineAddr`]s to entries of type
+/// `T`, with per-set true-LRU replacement.
+///
+/// The structure is policy-free: `insert` returns the victim (if any) so the
+/// caller decides what a replacement means (write-back, transactional abort,
+/// overflow to the LLC, ...).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<T> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Slot<T>>>,
+    use_clock: u64,
+    // Secondary index for O(1) membership checks: line -> set index.
+    index: HashMap<LineAddr, usize>,
+}
+
+impl<T> SetAssocCache<T> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let num_sets = geometry.num_sets();
+        SetAssocCache {
+            geometry,
+            sets: (0..num_sets).map(|_| Vec::new()).collect(),
+            use_clock: 0,
+            index: HashMap::new(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Number of lines currently resident.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() % self.geometry.num_sets() as u64) as usize
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.use_clock += 1;
+        self.use_clock
+    }
+
+    /// Whether `line` is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.index.contains_key(&line)
+    }
+
+    /// Returns a reference to the entry for `line`, if resident, updating its
+    /// LRU position.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let set = self.set_index(line);
+        let clock = self.tick();
+        self.sets[set].iter_mut().find(|s| s.line == line).map(|s| {
+            s.last_use = clock;
+            &mut s.entry
+        })
+    }
+
+    /// Returns a reference to the entry for `line` without touching LRU
+    /// state (used by coherence probes, which should not perturb locality).
+    pub fn peek(&self, line: LineAddr) -> Option<&T> {
+        let set = self.set_index(line);
+        self.sets[set].iter().find(|s| s.line == line).map(|s| &s.entry)
+    }
+
+    /// Mutable peek without LRU update.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter_mut()
+            .find(|s| s.line == line)
+            .map(|s| &mut s.entry)
+    }
+
+    /// Inserts (or replaces) the entry for `line`, returning the evicted
+    /// victim `(line, entry)` if the set was full.
+    ///
+    /// If `line` was already resident its entry is replaced in place and no
+    /// eviction happens.
+    pub fn insert(&mut self, line: LineAddr, entry: T) -> Option<(LineAddr, T)> {
+        let set_idx = self.set_index(line);
+        let clock = self.tick();
+        let ways = self.geometry.ways;
+
+        if let Some(slot) = self.sets[set_idx].iter_mut().find(|s| s.line == line) {
+            slot.entry = entry;
+            slot.last_use = clock;
+            return None;
+        }
+
+        let mut victim = None;
+        if self.sets[set_idx].len() >= ways {
+            // Evict the least recently used slot of this set.
+            let (victim_pos, _) = self.sets[set_idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .expect("full set has at least one slot");
+            let slot = self.sets[set_idx].swap_remove(victim_pos);
+            self.index.remove(&slot.line);
+            victim = Some((slot.line, slot.entry));
+        }
+
+        self.sets[set_idx].push(Slot {
+            line,
+            last_use: clock,
+            entry,
+        });
+        self.index.insert(line, set_idx);
+        victim
+    }
+
+    /// Returns the line that would be evicted if `line` were inserted now,
+    /// without modifying the cache. Returns `None` if no eviction would be
+    /// needed (set not full, or `line` already resident).
+    pub fn victim_for(&self, line: LineAddr) -> Option<LineAddr> {
+        let set_idx = self.set_index(line);
+        if self.sets[set_idx].iter().any(|s| s.line == line) {
+            return None;
+        }
+        if self.sets[set_idx].len() < self.geometry.ways {
+            return None;
+        }
+        self.sets[set_idx]
+            .iter()
+            .min_by_key(|s| s.last_use)
+            .map(|s| s.line)
+    }
+
+    /// Removes the entry for `line`, returning it.
+    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        let set_idx = self.set_index(line);
+        let pos = self.sets[set_idx].iter().position(|s| s.line == line)?;
+        self.index.remove(&line);
+        Some(self.sets[set_idx].swap_remove(pos).entry)
+    }
+
+    /// Iterates over all resident `(line, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|s| (s.line, &s.entry)))
+    }
+
+    /// Iterates mutably over all resident `(line, entry)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
+        self.sets
+            .iter_mut()
+            .flat_map(|set| set.iter_mut().map(|s| (s.line, &mut s.entry)))
+    }
+
+    /// Removes every line for which the predicate returns `true`, returning
+    /// the removed pairs.
+    pub fn drain_filter(&mut self, mut pred: impl FnMut(LineAddr, &T) -> bool) -> Vec<(LineAddr, T)> {
+        let mut removed = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if pred(set[i].line, &set[i].entry) {
+                    let slot = set.swap_remove(i);
+                    self.index.remove(&slot.line);
+                    removed.push((slot.line, slot.entry));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Removes every resident line.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.index.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtm_types::config::CacheGeometry;
+
+    fn small_cache() -> SetAssocCache<u32> {
+        // 4 sets x 2 ways, 64 B lines => 512 B.
+        SetAssocCache::new(CacheGeometry::new(512, 2, 64))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = small_cache();
+        assert!(c.is_empty());
+        assert!(c.insert(LineAddr::new(1), 11).is_none());
+        assert!(c.insert(LineAddr::new(2), 22).is_none());
+        assert_eq!(c.len(), 2);
+        assert_eq!(*c.get_mut(LineAddr::new(1)).unwrap(), 11);
+        assert!(c.contains(LineAddr::new(2)));
+        assert!(!c.contains(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn same_set_conflict_evicts_lru() {
+        let mut c = small_cache();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        // Touch line 0 so line 4 becomes LRU.
+        c.get_mut(LineAddr::new(0));
+        let victim = c.insert(LineAddr::new(8), 8);
+        assert_eq!(victim, Some((LineAddr::new(4), 4)));
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(c.contains(LineAddr::new(8)));
+    }
+
+    #[test]
+    fn victim_for_predicts_without_mutating() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        c.get_mut(LineAddr::new(4));
+        assert_eq!(c.victim_for(LineAddr::new(8)), Some(LineAddr::new(0)));
+        // Present line or non-full set: no victim.
+        assert_eq!(c.victim_for(LineAddr::new(0)), None);
+        assert_eq!(c.victim_for(LineAddr::new(1)), None);
+        // Nothing was evicted by the queries.
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_existing_replaces_without_eviction() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(0), 1);
+        c.insert(LineAddr::new(4), 2);
+        assert!(c.insert(LineAddr::new(0), 99).is_none());
+        assert_eq!(*c.peek(LineAddr::new(0)).unwrap(), 99);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_update_lru() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        // Peek at 0 (no LRU update): 0 is still LRU and gets evicted.
+        let _ = c.peek(LineAddr::new(0));
+        let victim = c.insert(LineAddr::new(8), 8);
+        assert_eq!(victim, Some((LineAddr::new(0), 0)));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(1), 1);
+        c.insert(LineAddr::new(2), 2);
+        assert_eq!(c.remove(LineAddr::new(1)), Some(1));
+        assert_eq!(c.remove(LineAddr::new(1)), None);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn drain_filter_removes_matching() {
+        let mut c = small_cache();
+        for i in 0..8u64 {
+            c.insert(LineAddr::new(i), i as u32);
+        }
+        let removed = c.drain_filter(|_, v| v % 2 == 0);
+        assert_eq!(removed.len(), 4);
+        assert!(c.iter().all(|(_, v)| v % 2 == 1));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = small_cache();
+        for i in 0..100u64 {
+            c.insert(LineAddr::new(i), i as u32);
+        }
+        assert!(c.len() <= 8);
+        // Every set holds at most `ways` lines.
+        for set in 0..4u64 {
+            let in_set = c.iter().filter(|(l, _)| l.raw() % 4 == set).count();
+            assert!(in_set <= 2);
+        }
+    }
+
+    #[test]
+    fn iter_mut_allows_updates() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(1), 1);
+        c.insert(LineAddr::new(2), 2);
+        for (_, v) in c.iter_mut() {
+            *v += 10;
+        }
+        assert_eq!(*c.peek(LineAddr::new(1)).unwrap(), 11);
+        assert_eq!(*c.peek(LineAddr::new(2)).unwrap(), 12);
+    }
+}

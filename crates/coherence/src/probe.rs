@@ -1,0 +1,129 @@
+//! Coherence probes and transactional conflict arbitration.
+//!
+//! Conflict detection in the paper happens at the L1 controller of the core
+//! that currently holds a line, when a forwarded request or invalidation
+//! arrives (Section II-A). The memory system cannot decide the outcome by
+//! itself because the resolution depends on transactional state that lives in
+//! the engines (transaction status, conflict-resolution policy, the read-set
+//! overflow signature). It therefore describes each probe with a
+//! [`ProbeInfo`] and asks a [`ConflictArbiter`] — implemented by every
+//! transaction engine — for a [`ProbeDecision`].
+
+use dhtm_types::addr::LineAddr;
+use dhtm_types::ids::CoreId;
+
+/// The kind of coherence message delivered to the holder of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Fwd-GetS: another core wants a shared (read-only) copy of a line this
+    /// core owns.
+    FwdGetS,
+    /// Fwd-GetM: another core wants an exclusive (writable) copy of a line
+    /// this core owns.
+    FwdGetM,
+    /// Inv: another core is upgrading a shared line to modified, so this
+    /// core's read-only copy must be invalidated.
+    Invalidate,
+}
+
+impl ProbeKind {
+    /// Whether the probe is caused by a write request.
+    pub fn is_write_request(self) -> bool {
+        matches!(self, ProbeKind::FwdGetM | ProbeKind::Invalidate)
+    }
+}
+
+/// Everything the memory system knows about a probe when it asks the engine
+/// to arbitrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeInfo {
+    /// The core whose request triggered the probe.
+    pub requester: CoreId,
+    /// The core receiving the probe (the current holder per the directory).
+    pub holder: CoreId,
+    /// The line in question.
+    pub line: LineAddr,
+    /// The kind of message delivered.
+    pub kind: ProbeKind,
+    /// Whether the holder's L1 still caches the line. `false` means the
+    /// directory state is stale — for DHTM this is precisely the signal that
+    /// the line overflowed to the LLC while remaining in the holder's write
+    /// set (Section III-C), or that a read-set line was evicted and is now
+    /// tracked only by the holder's overflow signature.
+    pub holder_has_line: bool,
+    /// The holder's transactional write bit for the line (false if absent).
+    pub holder_write_bit: bool,
+    /// The holder's transactional read bit for the line (false if absent).
+    pub holder_read_bit: bool,
+    /// Whether the holder's L1 copy is dirty (false if absent).
+    pub holder_dirty: bool,
+}
+
+/// The engine's ruling on a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeDecision {
+    /// No transactional conflict (or the conflict was resolved in favour of
+    /// the requester by a non-transactional holder): the protocol action
+    /// proceeds normally.
+    Proceed,
+    /// Conflict resolved in favour of the holder: the requesting access is
+    /// cancelled and the requester's transaction must abort.
+    AbortRequester,
+    /// Conflict resolved in favour of the requester: the protocol action
+    /// proceeds and the holder's transaction is doomed; the engine is
+    /// responsible for aborting it.
+    AbortHolder,
+    /// The holder NACKs the request (LogTM-style). No state changes; the
+    /// requester should retry later.
+    Nack,
+}
+
+/// The conflict arbitration interface implemented by every transaction
+/// engine.
+pub trait ConflictArbiter {
+    /// Decides the outcome of a probe. Called while the memory system is in
+    /// the middle of an access; implementations must not touch the memory
+    /// system, only their own transactional metadata.
+    fn decide(&mut self, probe: &ProbeInfo) -> ProbeDecision;
+}
+
+/// An arbiter that never reports conflicts — the behaviour of a system with
+/// no transactions in flight (and the correct arbiter for purely
+/// lock-based designs, whose isolation comes from locks rather than from
+/// coherence).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoConflicts;
+
+impl ConflictArbiter for NoConflicts {
+    fn decide(&mut self, _probe: &ProbeInfo) -> ProbeDecision {
+        ProbeDecision::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_kind_write_classification() {
+        assert!(!ProbeKind::FwdGetS.is_write_request());
+        assert!(ProbeKind::FwdGetM.is_write_request());
+        assert!(ProbeKind::Invalidate.is_write_request());
+    }
+
+    #[test]
+    fn no_conflicts_always_proceeds() {
+        let mut arb = NoConflicts;
+        let probe = ProbeInfo {
+            requester: CoreId::new(0),
+            holder: CoreId::new(1),
+            line: LineAddr::new(4),
+            kind: ProbeKind::FwdGetM,
+            holder_has_line: true,
+            holder_write_bit: true,
+            holder_read_bit: false,
+            holder_dirty: true,
+        };
+        assert_eq!(arb.decide(&probe), ProbeDecision::Proceed);
+    }
+}

@@ -1,0 +1,75 @@
+//! # dhtm — Durable Hardware Transactional Memory
+//!
+//! A from-scratch reproduction of **"DHTM: Durable Hardware Transactional
+//! Memory"** (Joshi, Nagarajan, Cintra, Viglas — ISCA 2018) as a Rust
+//! library: the DHTM design itself plus every substrate it needs (cache
+//! hierarchy, MESI directory coherence, persistent memory, HTM machinery,
+//! multicore simulator, workloads and baselines).
+//!
+//! DHTM extends an RTM-like hardware transactional memory with:
+//!
+//! * **atomic durability** via hardware redo logging: the L1 controller
+//!   transparently writes redo log records to a per-thread transaction log in
+//!   persistent memory; a transaction commits as soon as its log (not its
+//!   data) is durable;
+//! * **log coalescing** through a small log buffer that predicts the last
+//!   store to each cache line, so repeated stores produce a single
+//!   line-granular log write;
+//! * **L1→LLC write-set overflow** using the same logging infrastructure (an
+//!   overflow list plus "sticky" directory state), lifting the transaction
+//!   size limit from the L1 to the LLC without adding any transaction
+//!   tracking hardware to the LLC;
+//! * a **recovery manager** that replays committed-but-incomplete
+//!   transactions after a crash, ordering dependent transactions with
+//!   sentinel log records.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dhtm::prelude::*;
+//!
+//! // Build the paper's 8-core machine and the DHTM engine.
+//! let cfg = SystemConfig::small_test();
+//! let mut machine = Machine::new(cfg.clone());
+//! let mut engine = DhtmEngine::new(&cfg);
+//! engine.init(&mut machine);
+//!
+//! // Run one durable transaction by hand.
+//! let core = CoreId::new(0);
+//! engine.begin(&mut machine, core, &[], 0);
+//! engine.write(&mut machine, core, Address::new(0x1000), 42, 10);
+//! engine.commit(&mut machine, core, 100);
+//!
+//! // The update is durable: crash the machine and recover.
+//! let mut crashed = machine.mem.domain().crash_snapshot();
+//! dhtm::RecoveryManager::new().recover(&mut crashed).unwrap();
+//! assert_eq!(crashed.memory().read_word(Address::new(0x1000)), 42);
+//! ```
+//!
+//! The full evaluation (Figures 5–6, Tables IV–VII of the paper) is driven by
+//! the `dhtm-bench` crate; see `EXPERIMENTS.md` at the repository root.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod hw_overhead;
+pub mod options;
+pub mod redo_log;
+
+pub use engine::DhtmEngine;
+pub use hw_overhead::{hardware_overhead, HardwareRegister};
+pub use options::DhtmOptions;
+pub use redo_log::RedoLogger;
+
+// Re-export the recovery entry points so that `dhtm` alone is enough for the
+// common durability workflow.
+pub use dhtm_nvm::recovery::{RecoveryManager, RecoveryReport};
+
+/// Convenience prelude for examples, tests and downstream users.
+pub mod prelude {
+    pub use crate::engine::DhtmEngine;
+    pub use crate::options::DhtmOptions;
+    pub use crate::{RecoveryManager, RecoveryReport};
+    pub use dhtm_sim::prelude::*;
+}

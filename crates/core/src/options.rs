@@ -1,0 +1,89 @@
+//! Configuration knobs of the DHTM engine used by the paper's ablations.
+
+/// Options controlling the DHTM engine's behaviour.
+///
+/// The defaults correspond to the design evaluated in the paper; the other
+/// settings exist to reproduce specific studies:
+///
+/// * `word_granular_logging` disables the log buffer and writes one redo
+///   record per store (the naive design of Figure 2b), used to demonstrate
+///   the bandwidth benefit of coalescing;
+/// * `instant_writes` makes the critical-path log/data writes complete
+///   instantaneously (still consuming bandwidth), the "idealised DHTM" of
+///   Section VI-D used to show that critical-path writes are not the main
+///   overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DhtmOptions {
+    /// Log at word granularity with no coalescing (Figure 2b) instead of the
+    /// default log-buffer design (Figure 2c).
+    pub word_granular_logging: bool,
+    /// Critical-path writes (pending log writes at commit, data write-backs
+    /// before the next transaction) complete instantaneously.
+    pub instant_writes: bool,
+    /// Allow the write set to overflow from the L1 to the LLC. Disabling
+    /// this yields an L1-limited durable HTM (used in ablations to isolate
+    /// the benefit of overflow support).
+    pub overflow_enabled: bool,
+}
+
+impl DhtmOptions {
+    /// The configuration evaluated in the paper.
+    pub fn paper_default() -> Self {
+        DhtmOptions {
+            word_granular_logging: false,
+            instant_writes: false,
+            overflow_enabled: true,
+        }
+    }
+
+    /// The idealised instant-write variant of Section VI-D.
+    pub fn instant_writes() -> Self {
+        DhtmOptions {
+            instant_writes: true,
+            ..Self::paper_default()
+        }
+    }
+
+    /// The naive word-granular logging variant of Figure 2b.
+    pub fn word_granular() -> Self {
+        DhtmOptions {
+            word_granular_logging: true,
+            ..Self::paper_default()
+        }
+    }
+
+    /// An L1-limited durable HTM (overflow support disabled).
+    pub fn without_overflow() -> Self {
+        DhtmOptions {
+            overflow_enabled: false,
+            ..Self::paper_default()
+        }
+    }
+}
+
+impl Default for DhtmOptions {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_evaluated_design() {
+        let o = DhtmOptions::default();
+        assert!(!o.word_granular_logging);
+        assert!(!o.instant_writes);
+        assert!(o.overflow_enabled);
+    }
+
+    #[test]
+    fn variant_constructors_differ_only_in_their_knob() {
+        assert!(DhtmOptions::instant_writes().instant_writes);
+        assert!(DhtmOptions::instant_writes().overflow_enabled);
+        assert!(DhtmOptions::word_granular().word_granular_logging);
+        assert!(!DhtmOptions::without_overflow().overflow_enabled);
+    }
+}

@@ -1,0 +1,163 @@
+//! The per-core hardware redo-logging front end (Section III-A).
+//!
+//! [`RedoLogger`] combines the log buffer (coalescing + last-store
+//! prediction) with the bookkeeping of issued log writes: which lines still
+//! need a record, how many records/bytes have been written for the current
+//! transaction, and the cycle at which all issued log writes become durable
+//! (the commit point cannot be earlier than this).
+
+use dhtm_cache::log_buffer::LogBuffer;
+use dhtm_types::addr::LineAddr;
+
+/// Per-core redo-logging state of the DHTM L1 controller.
+#[derive(Debug, Clone)]
+pub struct RedoLogger {
+    buffer: LogBuffer,
+    word_granular: bool,
+    /// Cycle by which every log write issued so far is durable.
+    persist_horizon: u64,
+    records_this_tx: u64,
+    bytes_this_tx: u64,
+}
+
+impl RedoLogger {
+    /// Creates a logger with a log buffer of `buffer_entries` entries.
+    /// With `word_granular` set, the buffer is bypassed and every store
+    /// produces its own record (the naive design of Figure 2b).
+    pub fn new(buffer_entries: usize, word_granular: bool) -> Self {
+        RedoLogger {
+            buffer: LogBuffer::new(buffer_entries),
+            word_granular,
+            persist_horizon: 0,
+            records_this_tx: 0,
+            bytes_this_tx: 0,
+        }
+    }
+
+    /// Whether word-granular (non-coalescing) logging is in effect.
+    pub fn word_granular(&self) -> bool {
+        self.word_granular
+    }
+
+    /// Registers a store to `line`. Returns a line whose redo record must be
+    /// written *now* (evicted from the log buffer to make room), if any.
+    ///
+    /// In word-granular mode the buffer is bypassed and the caller must log
+    /// the stored word immediately; `None` is returned.
+    pub fn on_store(&mut self, line: LineAddr) -> Option<LineAddr> {
+        if self.word_granular {
+            None
+        } else {
+            self.buffer.record_store(line)
+        }
+    }
+
+    /// Notifies the logger that the L1 is evicting `line`. Returns `true` if
+    /// the line was tracked in the buffer, in which case the caller must
+    /// write its redo record before the line leaves the L1.
+    pub fn on_l1_eviction(&mut self, line: LineAddr) -> bool {
+        self.buffer.remove(line)
+    }
+
+    /// Drains the buffer at transaction end; every returned line still needs
+    /// a redo record.
+    pub fn drain(&mut self) -> Vec<LineAddr> {
+        self.buffer.drain()
+    }
+
+    /// Whether `line` currently has a pending (unlogged) record in the
+    /// buffer.
+    pub fn is_pending(&self, line: LineAddr) -> bool {
+        self.buffer.contains(line)
+    }
+
+    /// Records that a log write of `bytes` bytes was issued and becomes
+    /// durable at `durable_at`.
+    pub fn note_log_write(&mut self, durable_at: u64, bytes: u64) {
+        self.persist_horizon = self.persist_horizon.max(durable_at);
+        self.records_this_tx += 1;
+        self.bytes_this_tx += bytes;
+    }
+
+    /// The cycle by which every issued log write is durable.
+    pub fn persist_horizon(&self) -> u64 {
+        self.persist_horizon
+    }
+
+    /// Number of log records written for the current transaction.
+    pub fn records_this_tx(&self) -> u64 {
+        self.records_this_tx
+    }
+
+    /// Bytes of log traffic written for the current transaction.
+    pub fn bytes_this_tx(&self) -> u64 {
+        self.bytes_this_tx
+    }
+
+    /// Resets per-transaction state (called at begin and after abort).
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.persist_horizon = 0;
+        self.records_this_tx = 0;
+        self.bytes_this_tx = 0;
+    }
+
+    /// Lifetime count of stores coalesced into an existing buffer entry.
+    pub fn coalesced_stores(&self) -> u64 {
+        self.buffer.coalesced_hits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2c_coalescing_two_log_writes_for_five_stores() {
+        // Single-entry buffer, stores A0,A1,A0,B0,B1: one eviction (A when B
+        // arrives) plus one drained entry (B) = 2 log writes.
+        let mut l = RedoLogger::new(1, false);
+        let a = LineAddr::new(0xA);
+        let b = LineAddr::new(0xB);
+        let mut writes = 0;
+        for line in [a, a, a, b, b] {
+            if l.on_store(line).is_some() {
+                writes += 1;
+            }
+        }
+        writes += l.drain().len();
+        assert_eq!(writes, 2);
+        assert_eq!(l.coalesced_stores(), 3);
+    }
+
+    #[test]
+    fn word_granular_mode_bypasses_buffer() {
+        let mut l = RedoLogger::new(8, true);
+        assert!(l.word_granular());
+        assert_eq!(l.on_store(LineAddr::new(1)), None);
+        assert!(l.drain().is_empty(), "nothing is buffered");
+    }
+
+    #[test]
+    fn l1_eviction_forces_log_of_tracked_line() {
+        let mut l = RedoLogger::new(8, false);
+        l.on_store(LineAddr::new(5));
+        assert!(l.is_pending(LineAddr::new(5)));
+        assert!(l.on_l1_eviction(LineAddr::new(5)));
+        assert!(!l.is_pending(LineAddr::new(5)));
+        assert!(!l.on_l1_eviction(LineAddr::new(5)));
+    }
+
+    #[test]
+    fn persist_horizon_tracks_latest_write() {
+        let mut l = RedoLogger::new(8, false);
+        l.note_log_write(500, 72);
+        l.note_log_write(300, 72);
+        assert_eq!(l.persist_horizon(), 500);
+        assert_eq!(l.records_this_tx(), 2);
+        assert_eq!(l.bytes_this_tx(), 144);
+        l.reset();
+        assert_eq!(l.persist_horizon(), 0);
+        assert_eq!(l.records_this_tx(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dhtm-htm
+//!
+//! Hardware-transactional-memory machinery shared by every HTM-based design
+//! in the workspace (sdTM, LogTM-ATOM, DHTM and the volatile NP baseline):
+//!
+//! * [`tx_state::TxStatus`] and [`tx_state::HtmCoreState`] — the per-core
+//!   transaction status register, read-set overflow signature and shadow
+//!   read/write-set bookkeeping.
+//! * [`arbiter::HtmArbiter`] — the conflict-resolution logic that every HTM
+//!   engine plugs into the coherence protocol's probe callback: it applies
+//!   the requester-wins or first-writer-wins policy, treats probes that find
+//!   the line absent from the holder's L1 as hits on overflowed state
+//!   (DHTM's sticky-state detection), honours strong isolation against
+//!   non-transactional accesses, optionally NACKs instead of aborting
+//!   (LogTM-style), and records dependencies on committed-but-incomplete
+//!   transactions so the DHTM engine can write sentinel log records.
+//! * [`rtm::RtmEngine`] — a complete volatile RTM-like best-effort HTM (the
+//!   paper's NP design): L1-buffered speculative state, read/write bits,
+//!   read-set overflow into the signature, abort on write-set eviction, and
+//!   a single-global-lock software fallback after repeated aborts.
+//!
+//! ## Example
+//!
+//! ```
+//! use dhtm_htm::rtm::RtmEngine;
+//! use dhtm_sim::prelude::*;
+//!
+//! let cfg = SystemConfig::small_test();
+//! let mut machine = Machine::new(cfg.clone());
+//! let mut engine = RtmEngine::new(&cfg);
+//! engine.init(&mut machine);
+//! let c0 = CoreId::new(0);
+//! assert!(engine.begin(&mut machine, c0, &[], 0).is_done());
+//! assert!(engine.write(&mut machine, c0, Address::new(0x400), 7, 10).is_done());
+//! assert!(engine.commit(&mut machine, c0, 50).is_done());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arbiter;
+pub mod rtm;
+pub mod tx_state;
+
+pub use arbiter::{ArbiterConfig, HtmArbiter};
+pub use rtm::RtmEngine;
+pub use tx_state::{HtmCoreState, TxStatus};

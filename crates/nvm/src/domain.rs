@@ -1,0 +1,187 @@
+//! The persistence domain: everything that survives a crash.
+
+use dhtm_types::addr::{LineAddr, LineData};
+use dhtm_types::ids::ThreadId;
+
+use crate::log::TransactionLog;
+use crate::memory::PersistentMemory;
+use crate::overflow::OverflowList;
+
+/// The set of persistent structures visible to the recovery manager: the
+/// in-place data image, one transaction log per thread and one overflow list
+/// per thread.
+///
+/// The simulator mutates the domain as the hardware would (log appends on log
+/// buffer evictions, in-place line writes on write-backs). Because volatile
+/// state (caches, registers, log buffer) lives elsewhere, *cloning* the
+/// domain is exactly a crash: the clone contains precisely the durable state
+/// at that instant, and running the [`crate::recovery::RecoveryManager`] on
+/// the clone reproduces the paper's recovery procedure.
+#[derive(Debug, Clone)]
+pub struct PersistentDomain {
+    memory: PersistentMemory,
+    logs: Vec<TransactionLog>,
+    overflow_lists: Vec<OverflowList>,
+}
+
+impl PersistentDomain {
+    /// Creates a domain with `threads` per-thread logs of `log_capacity`
+    /// records each and overflow lists of `overflow_capacity` entries each.
+    pub fn new(threads: usize, log_capacity: usize, overflow_capacity: usize) -> Self {
+        PersistentDomain {
+            memory: PersistentMemory::new(),
+            logs: (0..threads)
+                .map(|t| TransactionLog::new(ThreadId::new(t), log_capacity))
+                .collect(),
+            overflow_lists: (0..threads)
+                .map(|t| OverflowList::new(ThreadId::new(t), overflow_capacity))
+                .collect(),
+        }
+    }
+
+    /// Number of per-thread logs (== number of threads).
+    pub fn threads(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Immutable access to the in-place data image.
+    pub fn memory(&self) -> &PersistentMemory {
+        &self.memory
+    }
+
+    /// Mutable access to the in-place data image.
+    pub fn memory_mut(&mut self) -> &mut PersistentMemory {
+        &mut self.memory
+    }
+
+    /// Convenience: reads a full line from the in-place image.
+    pub fn read_line(&self, line: LineAddr) -> LineData {
+        self.memory.read_line(line)
+    }
+
+    /// Convenience: writes a full line to the in-place image (a data
+    /// write-back reaching persistent memory).
+    pub fn write_line(&mut self, line: LineAddr, data: LineData) {
+        self.memory.write_line(line, data);
+    }
+
+    /// Convenience: reads one word from the in-place image.
+    pub fn read_word(&self, addr: dhtm_types::addr::Address) -> u64 {
+        self.memory.read_word(addr)
+    }
+
+    /// Convenience: writes one word to the in-place image.
+    pub fn write_word(&mut self, addr: dhtm_types::addr::Address, value: u64) {
+        self.memory.write_word(addr, value);
+    }
+
+    /// The transaction log owned by `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn log(&self, thread: ThreadId) -> &TransactionLog {
+        &self.logs[thread.get()]
+    }
+
+    /// Mutable access to the transaction log owned by `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn log_mut(&mut self, thread: ThreadId) -> &mut TransactionLog {
+        &mut self.logs[thread.get()]
+    }
+
+    /// The overflow list owned by `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn overflow_list(&self, thread: ThreadId) -> &OverflowList {
+        &self.overflow_lists[thread.get()]
+    }
+
+    /// Mutable access to the overflow list owned by `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn overflow_list_mut(&mut self, thread: ThreadId) -> &mut OverflowList {
+        &mut self.overflow_lists[thread.get()]
+    }
+
+    /// Iterates over all per-thread logs.
+    pub fn logs(&self) -> impl Iterator<Item = &TransactionLog> {
+        self.logs.iter()
+    }
+
+    /// Takes a crash snapshot: an exact copy of the durable state at this
+    /// instant. All volatile state (caches, log buffer contents, transaction
+    /// status registers) is implicitly discarded because it simply is not
+    /// part of the domain.
+    pub fn crash_snapshot(&self) -> PersistentDomain {
+        self.clone()
+    }
+
+    /// Total log bytes appended across all threads (bandwidth accounting).
+    pub fn total_log_bytes(&self) -> u64 {
+        self.logs.iter().map(|l| l.appended_bytes()).sum()
+    }
+
+    /// Total log records appended across all threads.
+    pub fn total_log_records(&self) -> u64 {
+        self.logs.iter().map(|l| l.appended_records()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LogRecord;
+    use dhtm_types::ids::TxId;
+
+    #[test]
+    fn domain_construction() {
+        let d = PersistentDomain::new(4, 100, 50);
+        assert_eq!(d.threads(), 4);
+        for t in 0..4 {
+            assert_eq!(d.log(ThreadId::new(t)).capacity(), 100);
+            assert_eq!(d.overflow_list(ThreadId::new(t)).capacity(), 50);
+        }
+    }
+
+    #[test]
+    fn snapshot_isolates_later_mutations() {
+        let mut d = PersistentDomain::new(1, 16, 16);
+        d.write_line(LineAddr::new(1), [1; 8]);
+        let snap = d.crash_snapshot();
+        d.write_line(LineAddr::new(1), [2; 8]);
+        d.log_mut(ThreadId::new(0))
+            .append(LogRecord::commit(TxId::new(1)))
+            .unwrap();
+        assert_eq!(snap.read_line(LineAddr::new(1)), [1; 8]);
+        assert!(snap.log(ThreadId::new(0)).is_empty());
+        assert_eq!(d.read_line(LineAddr::new(1)), [2; 8]);
+    }
+
+    #[test]
+    fn total_log_accounting_spans_threads() {
+        let mut d = PersistentDomain::new(2, 16, 16);
+        d.log_mut(ThreadId::new(0))
+            .append(LogRecord::redo(TxId::new(1), LineAddr::new(1), [0; 8]))
+            .unwrap();
+        d.log_mut(ThreadId::new(1))
+            .append(LogRecord::commit(TxId::new(2)))
+            .unwrap();
+        assert_eq!(d.total_log_records(), 2);
+        assert_eq!(d.total_log_bytes(), 72 + 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_thread_panics() {
+        let d = PersistentDomain::new(1, 16, 16);
+        let _ = d.log(ThreadId::new(5));
+    }
+}

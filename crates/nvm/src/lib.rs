@@ -1,0 +1,65 @@
+//! # dhtm-nvm
+//!
+//! The persistent-memory substrate of the DHTM reproduction.
+//!
+//! The paper assumes byte-addressable non-volatile main memory attached to
+//! the memory bus (Section II-B). Everything that must survive a crash lives
+//! in this crate:
+//!
+//! * [`memory::PersistentMemory`] — the in-place data image (what the paper
+//!   calls "in-place values" in Figure 4).
+//! * [`log::TransactionLog`] — the per-thread circular transaction log that
+//!   holds redo/undo [`record::LogRecord`]s, commit/complete/abort markers
+//!   and sentinel dependency entries.
+//! * [`overflow::OverflowList`] — the per-thread list of cache-line addresses
+//!   whose dirty data overflowed from the L1 to the LLC (Section III-C).
+//! * [`domain::PersistentDomain`] — the aggregate of all of the above, which
+//!   can be snapshotted to emulate a crash.
+//! * [`recovery::RecoveryManager`] — the OS service that replays committed
+//!   but incomplete transactions after a restart (Section III-B, Recovery).
+//! * [`bandwidth::MemoryChannel`] — the shared, bandwidth-limited memory bus
+//!   (5.3 GB/s at baseline) that log writes, data write-backs and line fills
+//!   all contend for; this is the mechanism behind Table VII.
+//!
+//! ## Example
+//!
+//! ```
+//! use dhtm_nvm::domain::PersistentDomain;
+//! use dhtm_nvm::record::LogRecord;
+//! use dhtm_nvm::recovery::RecoveryManager;
+//! use dhtm_types::{LineAddr, ThreadId, TxId};
+//!
+//! let mut domain = PersistentDomain::new(2, 1024, 256);
+//! let t0 = ThreadId::new(0);
+//! let tx = TxId::new(1);
+//!
+//! // Hardware appends a redo record and a commit record, then crashes before
+//! // the data is written back in place.
+//! let line = LineAddr::new(10);
+//! domain.log_mut(t0).append(LogRecord::redo(tx, line, [42; 8])).unwrap();
+//! domain.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
+//!
+//! let mut crashed = domain.crash_snapshot();
+//! let report = RecoveryManager::new().recover(&mut crashed).unwrap();
+//! assert_eq!(report.replayed_transactions, 1);
+//! assert_eq!(crashed.memory().read_line(line)[0], 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bandwidth;
+pub mod domain;
+pub mod log;
+pub mod memory;
+pub mod overflow;
+pub mod record;
+pub mod recovery;
+
+pub use bandwidth::MemoryChannel;
+pub use domain::PersistentDomain;
+pub use log::TransactionLog;
+pub use memory::PersistentMemory;
+pub use overflow::OverflowList;
+pub use record::{LogRecord, RecordKind};
+pub use recovery::{RecoveryManager, RecoveryReport};

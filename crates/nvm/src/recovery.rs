@@ -1,0 +1,416 @@
+//! The recovery manager (Section III-B, "Recovery").
+//!
+//! The recovery manager is an OS service invoked on restart. It scans every
+//! registered per-thread transaction log and:
+//!
+//! * **replays** transactions that are *committed but not complete* — their
+//!   redo records carry the new values, which are copied in place;
+//! * **skips** transactions that are *complete* (all data already in place)
+//!   or *active*/*aborted* (no in-place data was written for redo-based
+//!   designs, so memory already holds the pre-transaction state);
+//! * **rolls back** transactions that used *undo* logging (the ATOM and
+//!   LogTM-ATOM baselines) and were still active at the crash: their undo
+//!   records carry the old values, which are copied back in place;
+//! * orders the replay of transactions with conflicting updates using the
+//!   *sentinel* dependency records written at conflict-detection time.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dhtm_types::error::{DhtmError, Result};
+use dhtm_types::ids::TxId;
+
+use crate::domain::PersistentDomain;
+use crate::record::{LogRecord, RecordKind};
+
+/// Summary of one recovery pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed-but-incomplete transactions whose redo records were replayed.
+    pub replayed_transactions: usize,
+    /// Active transactions with undo records that were rolled back.
+    pub rolled_back_transactions: usize,
+    /// Transactions skipped because they were already complete.
+    pub skipped_complete: usize,
+    /// Transactions skipped because they never committed (redo designs) or
+    /// were explicitly aborted.
+    pub skipped_uncommitted: usize,
+    /// Total cache lines written to the in-place image during recovery.
+    pub lines_written: usize,
+    /// Total word-granular writes performed during recovery.
+    pub words_written: usize,
+}
+
+/// Per-transaction status, derived from the markers present in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxDisposition {
+    /// Has a commit marker but no complete marker: replay redo records.
+    Replay,
+    /// Complete: nothing to do.
+    Complete,
+    /// Aborted or never committed (redo design): nothing to do; but if undo
+    /// records exist the transaction must be rolled back.
+    NotCommitted,
+}
+
+/// The recovery manager.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryManager {
+    _private: (),
+}
+
+impl RecoveryManager {
+    /// Creates a recovery manager.
+    pub fn new() -> Self {
+        RecoveryManager::default()
+    }
+
+    /// Runs recovery over the given crashed persistence domain, mutating its
+    /// in-place memory image so that it reflects a transactionally-consistent
+    /// state, then reclaims the logs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtmError::CorruptLog`] if the sentinel dependency graph
+    /// contains a cycle (which a correct hardware implementation can never
+    /// produce).
+    pub fn recover(&self, domain: &mut PersistentDomain) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+
+        // Gather every record of every log, grouped by transaction, keeping
+        // per-log order (log order == program order for a single thread).
+        let mut records_by_tx: BTreeMap<TxId, Vec<LogRecord>> = BTreeMap::new();
+        for log in domain.logs() {
+            for rec in log.iter() {
+                records_by_tx.entry(rec.tx).or_default().push(*rec);
+            }
+        }
+
+        // Classify each transaction.
+        let mut disposition: BTreeMap<TxId, TxDisposition> = BTreeMap::new();
+        for (&tx, recs) in &records_by_tx {
+            let committed = recs.iter().any(|r| matches!(r.kind, RecordKind::Commit));
+            let complete = recs.iter().any(|r| matches!(r.kind, RecordKind::Complete));
+            let aborted = recs.iter().any(|r| matches!(r.kind, RecordKind::Abort));
+            let disp = if complete {
+                TxDisposition::Complete
+            } else if committed && !aborted {
+                TxDisposition::Replay
+            } else {
+                TxDisposition::NotCommitted
+            };
+            disposition.insert(tx, disp);
+        }
+
+        // Build the sentinel dependency graph restricted to replayable
+        // transactions: an edge B -> A means B must be replayed before A.
+        let replayable: BTreeSet<TxId> = disposition
+            .iter()
+            .filter(|&(_, d)| *d == TxDisposition::Replay)
+            .map(|(&tx, _)| tx)
+            .collect();
+        let mut deps: BTreeMap<TxId, BTreeSet<TxId>> = BTreeMap::new();
+        for &tx in &replayable {
+            deps.insert(tx, BTreeSet::new());
+        }
+        for (&tx, recs) in &records_by_tx {
+            for rec in recs {
+                if let RecordKind::Sentinel { depends_on } = rec.kind {
+                    // Self-edges are trivially satisfied and are ignored.
+                    if depends_on != tx
+                        && replayable.contains(&tx)
+                        && replayable.contains(&depends_on)
+                    {
+                        deps.get_mut(&tx).expect("tx present").insert(depends_on);
+                    }
+                }
+            }
+        }
+
+        let order = topo_sort(&deps)?;
+
+        // Phase 1: replay committed-but-incomplete transactions in dependency
+        // order (redo records carry the after-images).
+        for tx in order {
+            let recs = &records_by_tx[&tx];
+            for rec in recs {
+                match rec.kind {
+                    RecordKind::Redo { line, data } => {
+                        domain.memory_mut().write_line(line, data);
+                        report.lines_written += 1;
+                    }
+                    RecordKind::RedoWord { line, word, value } => {
+                        domain.memory_mut().write_line_word(
+                            line,
+                            dhtm_types::addr::WordIndex::new(word),
+                            value,
+                        );
+                        report.words_written += 1;
+                    }
+                    _ => {}
+                }
+            }
+            report.replayed_transactions += 1;
+        }
+
+        // Phase 2: roll back uncommitted transactions that wrote undo
+        // records (eager designs may have written data in place before
+        // committing). Undo records are applied newest-first so that the
+        // oldest before-image wins.
+        for (&tx, recs) in &records_by_tx {
+            match disposition[&tx] {
+                TxDisposition::Complete => report.skipped_complete += 1,
+                TxDisposition::NotCommitted => {
+                    let mut undone = false;
+                    for rec in recs.iter().rev() {
+                        if let RecordKind::Undo { line, data } = rec.kind {
+                            domain.memory_mut().write_line(line, data);
+                            report.lines_written += 1;
+                            undone = true;
+                        }
+                    }
+                    if undone {
+                        report.rolled_back_transactions += 1;
+                    } else {
+                        report.skipped_uncommitted += 1;
+                    }
+                }
+                TxDisposition::Replay => {}
+            }
+        }
+
+        // Recovery leaves every surviving transaction either fully applied or
+        // fully undone; the logs can now be reclaimed wholesale.
+        let threads = domain.threads();
+        for t in 0..threads {
+            domain.log_mut(dhtm_types::ids::ThreadId::new(t)).clear();
+            domain
+                .overflow_list_mut(dhtm_types::ids::ThreadId::new(t))
+                .clear();
+        }
+
+        Ok(report)
+    }
+}
+
+/// Deterministic topological sort of the dependency map (`tx -> set of
+/// transactions that must replay before it`). Ties are broken by ascending
+/// transaction id.
+fn topo_sort(deps: &BTreeMap<TxId, BTreeSet<TxId>>) -> Result<Vec<TxId>> {
+    let mut remaining: BTreeMap<TxId, BTreeSet<TxId>> = deps.clone();
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let ready: Vec<TxId> = remaining
+            .iter()
+            .filter(|(_, d)| d.iter().all(|dep| !remaining.contains_key(dep)))
+            .map(|(&tx, _)| tx)
+            .collect();
+        if ready.is_empty() {
+            return Err(DhtmError::CorruptLog(
+                "cycle in sentinel dependency graph".to_string(),
+            ));
+        }
+        for tx in ready {
+            remaining.remove(&tx);
+            order.push(tx);
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtm_types::addr::LineAddr;
+    use dhtm_types::ids::ThreadId;
+
+    fn domain() -> PersistentDomain {
+        PersistentDomain::new(2, 256, 64)
+    }
+
+    #[test]
+    fn committed_incomplete_transaction_is_replayed() {
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let tx = TxId::new(1);
+        let line = LineAddr::new(5);
+        d.log_mut(t0).append(LogRecord::redo(tx, line, [7; 8])).unwrap();
+        d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
+
+        let report = RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(report.replayed_transactions, 1);
+        assert_eq!(d.read_line(line), [7; 8]);
+        assert!(d.log(t0).is_empty(), "logs are reclaimed after recovery");
+    }
+
+    #[test]
+    fn active_transaction_is_not_replayed() {
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let tx = TxId::new(1);
+        let line = LineAddr::new(5);
+        d.write_line(line, [1; 8]);
+        d.log_mut(t0).append(LogRecord::redo(tx, line, [9; 8])).unwrap();
+        // No commit marker: the values must not be applied.
+        let report = RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(report.replayed_transactions, 0);
+        assert_eq!(report.skipped_uncommitted, 1);
+        assert_eq!(d.read_line(line), [1; 8]);
+    }
+
+    #[test]
+    fn aborted_transaction_is_not_replayed() {
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let tx = TxId::new(1);
+        let line = LineAddr::new(5);
+        d.log_mut(t0).append(LogRecord::redo(tx, line, [9; 8])).unwrap();
+        d.log_mut(t0).append(LogRecord::abort(tx)).unwrap();
+        RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(d.read_line(line), [0; 8]);
+    }
+
+    #[test]
+    fn complete_transaction_is_skipped() {
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let tx = TxId::new(1);
+        let line = LineAddr::new(5);
+        // Data already made it in place before the crash.
+        d.write_line(line, [3; 8]);
+        d.log_mut(t0).append(LogRecord::redo(tx, line, [3; 8])).unwrap();
+        d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
+        d.log_mut(t0).append(LogRecord::complete(tx)).unwrap();
+        let report = RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(report.replayed_transactions, 0);
+        assert_eq!(report.skipped_complete, 1);
+        assert_eq!(d.read_line(line), [3; 8]);
+    }
+
+    #[test]
+    fn sentinel_orders_conflicting_replays() {
+        // TB wrote line 9 = 5 and committed; TA then read/modified line 9 and
+        // wrote 6, also committed. Both are incomplete. Without the sentinel
+        // the replay order would be ambiguous; with it, TA replays after TB
+        // and the final value is TA's.
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        let tb = TxId::new(1);
+        let ta = TxId::new(2);
+        let line = LineAddr::new(9);
+
+        d.log_mut(t0).append(LogRecord::redo(tb, line, [5; 8])).unwrap();
+        d.log_mut(t0).append(LogRecord::commit(tb)).unwrap();
+
+        d.log_mut(t1).append(LogRecord::redo(ta, line, [6; 8])).unwrap();
+        d.log_mut(t1).append(LogRecord::sentinel(ta, tb)).unwrap();
+        d.log_mut(t1).append(LogRecord::commit(ta)).unwrap();
+
+        let report = RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(report.replayed_transactions, 2);
+        assert_eq!(d.read_line(line), [6; 8]);
+    }
+
+    #[test]
+    fn sentinel_order_holds_regardless_of_txid_order() {
+        // Same as above but the dependent transaction has the *smaller* id,
+        // so a naive id-ordered replay would be wrong.
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        let tb = TxId::new(7); // writes second value... committed first
+        let ta = TxId::new(3); // depends on tb
+        let line = LineAddr::new(9);
+
+        d.log_mut(t0).append(LogRecord::redo(tb, line, [5; 8])).unwrap();
+        d.log_mut(t0).append(LogRecord::commit(tb)).unwrap();
+
+        d.log_mut(t1).append(LogRecord::redo(ta, line, [6; 8])).unwrap();
+        d.log_mut(t1).append(LogRecord::sentinel(ta, tb)).unwrap();
+        d.log_mut(t1).append(LogRecord::commit(ta)).unwrap();
+
+        RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(d.read_line(line), [6; 8]);
+    }
+
+    #[test]
+    fn undo_records_roll_back_uncommitted_transactions() {
+        // ATOM-style: data was written in place eagerly, the undo log holds
+        // the before-image, and the crash happened before commit.
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let tx = TxId::new(1);
+        let line = LineAddr::new(4);
+        d.write_line(line, [8; 8]); // eager in-place update (new value)
+        d.log_mut(t0).append(LogRecord::undo(tx, line, [2; 8])).unwrap();
+
+        let report = RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(report.rolled_back_transactions, 1);
+        assert_eq!(d.read_line(line), [2; 8]);
+    }
+
+    #[test]
+    fn committed_undo_transaction_is_not_rolled_back() {
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let tx = TxId::new(1);
+        let line = LineAddr::new(4);
+        d.write_line(line, [8; 8]);
+        d.log_mut(t0).append(LogRecord::undo(tx, line, [2; 8])).unwrap();
+        d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
+        RecoveryManager::new().recover(&mut d).unwrap();
+        // Committed: the new value stays.
+        assert_eq!(d.read_line(line), [8; 8]);
+    }
+
+    #[test]
+    fn word_granular_redo_records_replay() {
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let tx = TxId::new(1);
+        let line = LineAddr::new(4);
+        d.write_line(line, [1; 8]);
+        d.log_mut(t0).append(LogRecord::redo_word(tx, line, 3, 99)).unwrap();
+        d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
+        let report = RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(report.words_written, 1);
+        let data = d.read_line(line);
+        assert_eq!(data[3], 99);
+        assert_eq!(data[0], 1);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let tx = TxId::new(1);
+        let line = LineAddr::new(5);
+        d.log_mut(t0).append(LogRecord::redo(tx, line, [7; 8])).unwrap();
+        d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
+        RecoveryManager::new().recover(&mut d).unwrap();
+        let after_first = d.read_line(line);
+        let report = RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(report.replayed_transactions, 0);
+        assert_eq!(d.read_line(line), after_first);
+    }
+
+    #[test]
+    fn multiple_independent_transactions_all_replay() {
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        for i in 0..10u64 {
+            let tx = TxId::new(i + 1);
+            let thread = if i % 2 == 0 { t0 } else { t1 };
+            d.log_mut(thread)
+                .append(LogRecord::redo(tx, LineAddr::new(100 + i), [i; 8]))
+                .unwrap();
+            d.log_mut(thread).append(LogRecord::commit(tx)).unwrap();
+        }
+        let report = RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(report.replayed_transactions, 10);
+        for i in 0..10u64 {
+            assert_eq!(d.read_line(LineAddr::new(100 + i)), [i; 8]);
+        }
+    }
+}

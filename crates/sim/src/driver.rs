@@ -1,0 +1,443 @@
+//! The simulation driver: deterministic multicore execution of a workload on
+//! a design.
+
+use dhtm_types::ids::CoreId;
+use dhtm_types::policy::DesignKind;
+use dhtm_types::stats::RunStats;
+
+use crate::engine::{StepOutcome, TxEngine};
+use crate::machine::Machine;
+use crate::workload::{Transaction, TxOp, Workload};
+
+/// Termination conditions for a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Stop once this many transactions have committed (across all cores).
+    pub target_commits: u64,
+    /// Hard upper bound on simulated cycles (guards against livelock).
+    pub max_cycles: u64,
+}
+
+impl RunLimits {
+    /// A small run suitable for unit and integration tests.
+    pub fn quick() -> Self {
+        RunLimits {
+            target_commits: 200,
+            max_cycles: 50_000_000,
+        }
+    }
+
+    /// The run length used by the experiment harness.
+    pub fn evaluation() -> Self {
+        RunLimits {
+            target_commits: 2_000,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Builder-style override of the commit target.
+    #[must_use]
+    pub fn with_target_commits(mut self, commits: u64) -> Self {
+        self.target_commits = commits;
+        self
+    }
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// The design that was run.
+    pub design: DesignKind,
+    /// The workload name.
+    pub workload: String,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+}
+
+impl SimulationResult {
+    /// Transactions committed per million cycles — the throughput metric all
+    /// of the paper's figures are based on (always reported normalised to
+    /// SO).
+    pub fn throughput(&self) -> f64 {
+        self.stats.throughput_per_mcycle()
+    }
+}
+
+/// Per-core execution state inside the driver.
+#[derive(Debug)]
+struct CoreRun {
+    time: u64,
+    tx: Option<Transaction>,
+    op_idx: usize,
+    begun: bool,
+    attempts: u32,
+    committed: u64,
+    aborted_attempts: u64,
+    stall_cycles: u64,
+}
+
+impl CoreRun {
+    fn new() -> Self {
+        CoreRun {
+            time: 0,
+            tx: None,
+            op_idx: 0,
+            begun: false,
+            attempts: 0,
+            committed: 0,
+            aborted_attempts: 0,
+            stall_cycles: 0,
+        }
+    }
+}
+
+/// The deterministic simulation driver.
+#[derive(Debug, Default)]
+pub struct Simulator {
+    /// Extra back-off (in cycles) applied per retry attempt, doubling each
+    /// attempt up to a cap. Models the retry policy of the HTM runtime.
+    backoff_base: u64,
+    backoff_cap: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator with the default exponential back-off policy.
+    pub fn new() -> Self {
+        Simulator {
+            backoff_base: 32,
+            backoff_cap: 4096,
+        }
+    }
+
+    fn backoff(&self, attempts: u32, core: CoreId) -> u64 {
+        let exp = attempts.min(7);
+        let raw = self.backoff_base << exp;
+        // Small deterministic per-core skew de-synchronises retries.
+        raw.min(self.backoff_cap) + (core.get() as u64) * 7
+    }
+
+    /// Runs `workload` on `machine` under `engine` until the limits are hit.
+    ///
+    /// Setup transactions produced by the workload are applied directly to
+    /// persistent memory before measurement starts (they model the
+    /// already-persistent data structure the benchmark operates on).
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        engine: &mut dyn TxEngine,
+        workload: &mut dyn Workload,
+        limits: &RunLimits,
+    ) -> SimulationResult {
+        // ---- Setup phase: populate persistent memory directly. ----
+        for tx in workload.setup_transactions() {
+            for op in &tx.ops {
+                if let TxOp::Write(addr, value) = op {
+                    machine.mem.domain_mut().memory_mut().write_word(*addr, *value);
+                }
+            }
+        }
+
+        engine.init(machine);
+
+        let num_cores = machine.num_cores();
+        let mut cores: Vec<CoreRun> = (0..num_cores).map(|_| CoreRun::new()).collect();
+        let mut stats = RunStats::new();
+        let mem_stats_before = machine.mem.stats().clone();
+        let log_records_before = machine.mem.domain().total_log_records();
+
+        loop {
+            let total_committed: u64 = cores.iter().map(|c| c.committed).sum();
+            if total_committed >= limits.target_commits {
+                break;
+            }
+            // Pick the core with the smallest local time.
+            let core_idx = cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, c)| (c.time, *i))
+                .map(|(i, _)| i)
+                .expect("at least one core");
+            if cores[core_idx].time >= limits.max_cycles {
+                break;
+            }
+            let core = CoreId::new(core_idx);
+            let now = cores[core_idx].time;
+
+            // Ensure the core has a transaction to work on.
+            if cores[core_idx].tx.is_none() {
+                let tx = workload.next_transaction(core);
+                cores[core_idx].tx = Some(tx);
+                cores[core_idx].op_idx = 0;
+                cores[core_idx].begun = false;
+                cores[core_idx].attempts = 0;
+            }
+
+            // Decide and execute the next step.
+            let (outcome, step_kind) = {
+                let run = &cores[core_idx];
+                let tx = run.tx.as_ref().expect("transaction present");
+                if !run.begun {
+                    let mut locks = tx.locks.clone();
+                    locks.sort_unstable();
+                    locks.dedup();
+                    (engine.begin(machine, core, &locks, now), Step::Begin)
+                } else if run.op_idx < tx.ops.len() {
+                    match tx.ops[run.op_idx] {
+                        TxOp::Compute(cycles) => (StepOutcome::done(now + cycles), Step::Op),
+                        TxOp::Read(addr) => (engine.read(machine, core, addr, now), Step::Op),
+                        TxOp::Write(addr, value) => {
+                            (engine.write(machine, core, addr, value, now), Step::Op)
+                        }
+                    }
+                } else {
+                    (engine.commit(machine, core, now), Step::Commit)
+                }
+            };
+
+            match outcome {
+                StepOutcome::Done { at } => {
+                    debug_assert!(at >= now, "time must not go backwards");
+                    cores[core_idx].time = at.max(now);
+                    match step_kind {
+                        Step::Begin => cores[core_idx].begun = true,
+                        Step::Op => cores[core_idx].op_idx += 1,
+                        Step::Commit => {
+                            let tx = cores[core_idx].tx.take().expect("present");
+                            cores[core_idx].committed += 1;
+                            stats.committed += 1;
+                            stats.loads += tx.load_count() as u64;
+                            stats.stores += tx.store_count() as u64;
+                            let tx_stats = engine.last_tx_stats(core);
+                            let ws = if tx_stats.write_set_lines > 0 {
+                                tx_stats.write_set_lines
+                            } else {
+                                tx.write_set_lines().len()
+                            };
+                            let rs = if tx_stats.read_set_lines > 0 {
+                                tx_stats.read_set_lines
+                            } else {
+                                tx.read_set_lines().len()
+                            };
+                            stats.sum_write_set_lines += ws as u64;
+                            stats.sum_read_set_lines += rs as u64;
+                        }
+                    }
+                }
+                StepOutcome::Stall { retry_at } => {
+                    let wait = retry_at.saturating_sub(now).max(1);
+                    cores[core_idx].stall_cycles += wait;
+                    if matches!(step_kind, Step::Begin) {
+                        stats.lock_wait_cycles += wait;
+                    }
+                    cores[core_idx].time = now + wait;
+                }
+                StepOutcome::Aborted { at, retry_at, reason } => {
+                    stats.record_abort(reason);
+                    cores[core_idx].aborted_attempts += 1;
+                    let attempts = cores[core_idx].attempts;
+                    let resume = at.max(retry_at).max(now) + self.backoff(attempts, core);
+                    cores[core_idx].time = resume;
+                    cores[core_idx].op_idx = 0;
+                    cores[core_idx].begun = false;
+                    cores[core_idx].attempts = attempts.saturating_add(1);
+                }
+            }
+        }
+
+        // ---- Collect statistics. ----
+        stats.total_cycles = cores.iter().map(|c| c.time).max().unwrap_or(0);
+        let mem_stats = machine.mem.stats();
+        stats.l1_hits = mem_stats.l1_hits - mem_stats_before.l1_hits;
+        stats.l1_misses = mem_stats.l1_misses - mem_stats_before.l1_misses;
+        stats.llc_hits = mem_stats.llc_hits - mem_stats_before.llc_hits;
+        stats.llc_misses = mem_stats.llc_misses - mem_stats_before.llc_misses;
+        stats.nvm_line_reads = mem_stats.nvm_line_reads - mem_stats_before.nvm_line_reads;
+        stats.log_bytes_written = mem_stats.log_bytes - mem_stats_before.log_bytes;
+        stats.data_bytes_written =
+            mem_stats.data_writeback_bytes - mem_stats_before.data_writeback_bytes;
+        stats.log_records_written =
+            machine.mem.domain().total_log_records() - log_records_before;
+        stats.commit_stall_cycles = cores.iter().map(|c| c.stall_cycles).sum();
+        stats.fallback_commits = engine.fallback_commits();
+
+        SimulationResult {
+            design: engine.design(),
+            workload: workload.name().to_string(),
+            stats,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Begin,
+    Op,
+    Commit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks::LockId;
+    use dhtm_coherence::probe::NoConflicts;
+    use dhtm_types::addr::Address;
+    use dhtm_types::config::SystemConfig;
+    use dhtm_types::stats::TxStats;
+
+    /// A minimal non-transactional engine used to exercise the driver: every
+    /// access goes straight through the memory system with no conflict
+    /// detection and commits are free.
+    #[derive(Debug, Default)]
+    struct PassthroughEngine {
+        committed: u64,
+    }
+
+    impl TxEngine for PassthroughEngine {
+        fn design(&self) -> DesignKind {
+            DesignKind::NonPersistent
+        }
+        fn init(&mut self, _machine: &mut Machine) {}
+        fn begin(
+            &mut self,
+            _machine: &mut Machine,
+            _core: CoreId,
+            _locks: &[LockId],
+            now: u64,
+        ) -> StepOutcome {
+            StepOutcome::done(now + 1)
+        }
+        fn read(
+            &mut self,
+            machine: &mut Machine,
+            core: CoreId,
+            addr: Address,
+            now: u64,
+        ) -> StepOutcome {
+            let out = machine.mem.load(core, addr.line(), now, &mut NoConflicts);
+            if let Some((line, entry)) = out.evicted_victim.clone() {
+                machine.mem.evict_nontransactional(core, line, &entry, now);
+            }
+            StepOutcome::done(out.done)
+        }
+        fn write(
+            &mut self,
+            machine: &mut Machine,
+            core: CoreId,
+            addr: Address,
+            value: u64,
+            now: u64,
+        ) -> StepOutcome {
+            let out = machine.mem.store(core, addr.line(), now, &mut NoConflicts);
+            if let Some((line, entry)) = out.evicted_victim.clone() {
+                machine.mem.evict_nontransactional(core, line, &entry, now);
+            }
+            machine.mem.write_word_in_l1(core, addr, value);
+            StepOutcome::done(out.done)
+        }
+        fn commit(&mut self, _machine: &mut Machine, _core: CoreId, now: u64) -> StepOutcome {
+            self.committed += 1;
+            StepOutcome::done(now + 1)
+        }
+        fn last_tx_stats(&mut self, _core: CoreId) -> TxStats {
+            TxStats::default()
+        }
+    }
+
+    /// A workload where each core increments counters in its own region.
+    #[derive(Debug)]
+    struct CounterWorkload {
+        per_core_counter: Vec<u64>,
+    }
+
+    impl CounterWorkload {
+        fn new(cores: usize) -> Self {
+            CounterWorkload {
+                per_core_counter: vec![0; cores],
+            }
+        }
+    }
+
+    impl Workload for CounterWorkload {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn next_transaction(&mut self, core: CoreId) -> Transaction {
+            let n = self.per_core_counter[core.get()];
+            self.per_core_counter[core.get()] += 1;
+            let base = Address::new(0x10000 * (core.get() as u64 + 1) + (n % 8) * 64);
+            Transaction::new(
+                vec![
+                    TxOp::Read(base),
+                    TxOp::Compute(10),
+                    TxOp::Write(base, n),
+                    TxOp::Write(base.offset(64), n),
+                ],
+                vec![LockId(core.get() as u64)],
+                "counter",
+            )
+        }
+    }
+
+    #[test]
+    fn driver_runs_to_commit_target() {
+        let mut machine = Machine::new(SystemConfig::small_test());
+        let mut engine = PassthroughEngine::default();
+        let mut workload = CounterWorkload::new(4);
+        let limits = RunLimits::quick().with_target_commits(40);
+        let result = Simulator::new().run(&mut machine, &mut engine, &mut workload, &limits);
+        assert_eq!(result.stats.committed, 40);
+        assert_eq!(engine.committed, 40);
+        assert!(result.stats.total_cycles > 0);
+        assert!(result.throughput() > 0.0);
+        assert_eq!(result.workload, "counter");
+        // Four cores should share the work roughly evenly under the
+        // min-time scheduling rule.
+        assert!(result.stats.loads >= 40);
+    }
+
+    #[test]
+    fn driver_is_deterministic() {
+        let run = || {
+            let mut machine = Machine::new(SystemConfig::small_test());
+            let mut engine = PassthroughEngine::default();
+            let mut workload = CounterWorkload::new(4);
+            let limits = RunLimits::quick().with_target_commits(60);
+            Simulator::new()
+                .run(&mut machine, &mut engine, &mut workload, &limits)
+                .stats
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.l1_hits, b.l1_hits);
+    }
+
+    #[test]
+    fn max_cycles_limit_terminates_run() {
+        let mut machine = Machine::new(SystemConfig::small_test());
+        let mut engine = PassthroughEngine::default();
+        let mut workload = CounterWorkload::new(4);
+        let limits = RunLimits {
+            target_commits: u64::MAX,
+            max_cycles: 10_000,
+        };
+        let result = Simulator::new().run(&mut machine, &mut engine, &mut workload, &limits);
+        assert!(result.stats.committed > 0);
+        assert!(result.stats.total_cycles < 100_000);
+    }
+
+    #[test]
+    fn backoff_grows_with_attempts_and_is_capped() {
+        let sim = Simulator::new();
+        let c = CoreId::new(0);
+        assert!(sim.backoff(0, c) < sim.backoff(3, c));
+        assert!(sim.backoff(20, c) <= 4096 + 7 * 8);
+    }
+}

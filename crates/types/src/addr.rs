@@ -1,0 +1,252 @@
+//! Address newtypes: byte addresses, cache-line addresses and word indices.
+//!
+//! The simulated machine uses 64-byte cache lines composed of eight 8-byte
+//! words, matching the configuration in Table III of the paper. Logging in
+//! DHTM happens at either word granularity (naive design of Figure 2b) or
+//! cache-line granularity (log-buffer design of Figure 2c), so both units get
+//! dedicated types.
+
+use std::fmt;
+
+/// Size of a cache line in bytes (Table III: 64 B lines).
+pub const LINE_SIZE: usize = 64;
+/// Size of a machine word in bytes.
+pub const WORD_SIZE: usize = 8;
+/// Number of words per cache line.
+pub const WORDS_PER_LINE: usize = LINE_SIZE / WORD_SIZE;
+
+/// A byte address in the simulated physical address space.
+///
+/// ```
+/// use dhtm_types::addr::Address;
+/// let a = Address::new(0x1000).offset(24);
+/// assert_eq!(a.word_index().get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Returns the raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line this byte belongs to.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_SIZE as u64)
+    }
+
+    /// Returns the word within the owning cache line.
+    pub const fn word_index(self) -> WordIndex {
+        WordIndex(((self.0 % LINE_SIZE as u64) / WORD_SIZE as u64) as usize)
+    }
+
+    /// Returns the byte offset within the owning cache line.
+    pub const fn line_offset(self) -> usize {
+        (self.0 % LINE_SIZE as u64) as usize
+    }
+
+    /// Returns a new address displaced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Address(self.0 + bytes)
+    }
+
+    /// Returns `true` if the address is aligned to a word boundary.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0 % WORD_SIZE as u64 == 0
+    }
+
+    /// Returns `true` if the address is aligned to a cache-line boundary.
+    pub const fn is_line_aligned(self) -> bool {
+        self.0 % LINE_SIZE as u64 == 0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address::new(raw)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line number (byte address divided by [`LINE_SIZE`]).
+///
+/// All coherence, logging and overflow-list bookkeeping in the paper operates
+/// on cache-line addresses; using a distinct type prevents accidentally mixing
+/// them with byte addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line number.
+    pub const fn new(line_number: u64) -> Self {
+        LineAddr(line_number)
+    }
+
+    /// Returns the line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of the line.
+    pub const fn base(self) -> Address {
+        Address(self.0 * LINE_SIZE as u64)
+    }
+
+    /// Returns the byte address of the `word`-th word of this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= WORDS_PER_LINE`.
+    pub fn word_address(self, word: WordIndex) -> Address {
+        assert!(word.get() < WORDS_PER_LINE, "word index out of range");
+        Address(self.0 * LINE_SIZE as u64 + (word.get() * WORD_SIZE) as u64)
+    }
+
+    /// Returns the successor line (useful when laying out simulated objects).
+    #[must_use]
+    pub const fn next(self) -> Self {
+        LineAddr(self.0 + 1)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L0x{:x}", self.0)
+    }
+}
+
+impl From<Address> for LineAddr {
+    fn from(a: Address) -> Self {
+        a.line()
+    }
+}
+
+/// Index of a word within a cache line (0..[`WORDS_PER_LINE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WordIndex(usize);
+
+impl WordIndex {
+    /// Creates a word index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= WORDS_PER_LINE`.
+    pub fn new(idx: usize) -> Self {
+        assert!(idx < WORDS_PER_LINE, "word index {idx} out of range");
+        WordIndex(idx)
+    }
+
+    /// Returns the index value.
+    pub const fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for WordIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Contents of a single cache line: eight 64-bit words.
+pub type LineData = [u64; WORDS_PER_LINE];
+
+/// A zeroed cache line, the initial content of all simulated memory.
+pub const ZERO_LINE: LineData = [0; WORDS_PER_LINE];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_line_mapping() {
+        let a = Address::new(0);
+        assert_eq!(a.line(), LineAddr::new(0));
+        let b = Address::new(63);
+        assert_eq!(b.line(), LineAddr::new(0));
+        let c = Address::new(64);
+        assert_eq!(c.line(), LineAddr::new(1));
+        let d = Address::new(64 * 100 + 17);
+        assert_eq!(d.line(), LineAddr::new(100));
+        assert_eq!(d.line_offset(), 17);
+    }
+
+    #[test]
+    fn word_index_mapping() {
+        assert_eq!(Address::new(0).word_index().get(), 0);
+        assert_eq!(Address::new(7).word_index().get(), 0);
+        assert_eq!(Address::new(8).word_index().get(), 1);
+        assert_eq!(Address::new(63).word_index().get(), 7);
+        assert_eq!(Address::new(64).word_index().get(), 0);
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        for i in [0u64, 1, 7, 1000, 123_456] {
+            let line = LineAddr::new(i);
+            assert_eq!(line.base().line(), line);
+            assert!(line.base().is_line_aligned());
+        }
+    }
+
+    #[test]
+    fn word_address_computation() {
+        let line = LineAddr::new(2);
+        let a = line.word_address(WordIndex::new(3));
+        assert_eq!(a.raw(), 2 * 64 + 24);
+        assert_eq!(a.word_index().get(), 3);
+        assert!(a.is_word_aligned());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word_index_out_of_range_panics() {
+        WordIndex::new(8);
+    }
+
+    #[test]
+    fn alignment_checks() {
+        assert!(Address::new(0).is_line_aligned());
+        assert!(!Address::new(8).is_line_aligned());
+        assert!(Address::new(8).is_word_aligned());
+        assert!(!Address::new(9).is_word_aligned());
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(format!("{}", Address::new(0x40)), "0x40");
+        assert_eq!(format!("{}", LineAddr::new(0x2)), "L0x2");
+        assert_eq!(format!("{}", WordIndex::new(5)), "w5");
+    }
+
+    #[test]
+    fn next_line_advances_by_line_size() {
+        let l = LineAddr::new(10);
+        assert_eq!(l.next().base().raw() - l.base().raw(), LINE_SIZE as u64);
+    }
+
+    #[test]
+    fn from_conversions() {
+        let a: Address = 128u64.into();
+        let l: LineAddr = a.into();
+        assert_eq!(l, LineAddr::new(2));
+    }
+}

@@ -1,0 +1,378 @@
+//! System configuration mirroring Table III of the paper.
+//!
+//! | Parameter | Paper value |
+//! |---|---|
+//! | Cores | 8 in-order cores @ 2 GHz |
+//! | L1 I/D cache | 32 KB, 64 B lines, 4-way |
+//! | L1 access latency | 3 cycles |
+//! | L2 (LLC) | 1 MB × 8 tiles, 64 B lines, 16-way |
+//! | L2 access latency | 30 cycles |
+//! | MSHRs | 32 |
+//! | NVM access latency | 360 (write) / 240 (read) cycles |
+//! | Peak memory bandwidth | 5.3 GB/s |
+//!
+//! The defaults produced by [`SystemConfig::isca18_baseline`] reproduce this
+//! table; individual experiments override specific fields (e.g. the log-buffer
+//! sweep of Figure 6 or the bandwidth scaling of Table VII).
+
+use crate::addr::LINE_SIZE;
+use crate::policy::ConflictPolicy;
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (number of ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_size: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not divisible into an integral power-of-two
+    /// number of sets of `ways` lines.
+    pub fn new(capacity_bytes: usize, ways: usize, line_size: usize) -> Self {
+        let g = CacheGeometry {
+            capacity_bytes,
+            ways,
+            line_size,
+        };
+        let sets = g.num_sets();
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets ({sets}) must be a power of two"
+        );
+        g
+    }
+
+    /// Number of cache lines the cache can hold.
+    pub fn num_lines(&self) -> usize {
+        self.capacity_bytes / self.line_size
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_lines() / self.ways
+    }
+
+    /// The paper's L1 geometry: 32 KB, 4-way, 64 B lines.
+    pub fn isca18_l1() -> Self {
+        CacheGeometry::new(32 * 1024, 4, LINE_SIZE)
+    }
+
+    /// The paper's LLC geometry: 1 MB × 8 tiles, 16-way, 64 B lines.
+    pub fn isca18_llc() -> Self {
+        CacheGeometry::new(8 * 1024 * 1024, 16, LINE_SIZE)
+    }
+}
+
+/// Access latencies, in core cycles, for each level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// L1 hit latency (Table III: 3 cycles).
+    pub l1_hit: u64,
+    /// LLC hit latency (Table III: 30 cycles).
+    pub llc_hit: u64,
+    /// NVM read latency (Table III: 240 cycles).
+    pub nvm_read: u64,
+    /// NVM write latency (Table III: 360 cycles).
+    pub nvm_write: u64,
+    /// Latency of a directory-initiated forward or invalidation hop between
+    /// two L1 caches (on-chip network round trip). Not spelled out in the
+    /// paper; chosen comparable to an LLC access.
+    pub coherence_hop: u64,
+}
+
+impl LatencyConfig {
+    /// The Table III latency configuration.
+    pub fn isca18_baseline() -> Self {
+        LatencyConfig {
+            l1_hit: 3,
+            llc_hit: 30,
+            nvm_read: 240,
+            nvm_write: 360,
+            coherence_hop: 30,
+        }
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        Self::isca18_baseline()
+    }
+}
+
+/// Software overhead model for designs that perform logging or concurrency
+/// control in software (SO, sdTM and the fallback paths).
+///
+/// These constants model instruction overhead on the in-order cores of the
+/// paper's setup: creating a log entry in software requires composing
+/// address/value pairs, issuing non-temporal stores and ordering them with
+/// fences; acquiring a lock requires an atomic read-modify-write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareCostConfig {
+    /// Instruction overhead (cycles) for composing one software log entry.
+    pub log_entry_setup: u64,
+    /// Cycles spent on an sfence/pcommit-style ordering point.
+    pub persist_fence: u64,
+    /// Cycles for an uncontended lock acquire (atomic RMW on a cached line).
+    pub lock_acquire: u64,
+    /// Cycles for a lock release (store + fence).
+    pub lock_release: u64,
+}
+
+impl SoftwareCostConfig {
+    /// Default software cost model used throughout the evaluation.
+    pub fn isca18_baseline() -> Self {
+        SoftwareCostConfig {
+            log_entry_setup: 12,
+            persist_fence: 30,
+            lock_acquire: 20,
+            lock_release: 10,
+        }
+    }
+}
+
+impl Default for SoftwareCostConfig {
+    fn default() -> Self {
+        Self::isca18_baseline()
+    }
+}
+
+/// Complete configuration of the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of in-order cores (one hardware thread each).
+    pub num_cores: usize,
+    /// Core clock frequency in Hz (2 GHz in the paper). Only used to convert
+    /// the memory bandwidth into bytes/cycle.
+    pub core_freq_hz: u64,
+    /// Private L1 data cache geometry.
+    pub l1: CacheGeometry,
+    /// Shared LLC geometry (aggregate over all tiles).
+    pub llc: CacheGeometry,
+    /// Number of LLC tiles/banks (8 in the paper).
+    pub llc_tiles: usize,
+    /// Number of MSHRs per core.
+    pub mshrs: usize,
+    /// Access latencies.
+    pub latency: LatencyConfig,
+    /// Software operation cost model.
+    pub software: SoftwareCostConfig,
+    /// Peak memory bandwidth in bytes per second (5.3 GB/s in the paper).
+    pub mem_bandwidth_bytes_per_sec: f64,
+    /// Multiplier applied to the peak bandwidth (Table VII sweeps 1×/2×/10×).
+    pub bandwidth_multiplier: f64,
+    /// Number of entries in the DHTM log buffer (64 by default, Figure 6
+    /// sweeps 4..128).
+    pub log_buffer_entries: usize,
+    /// Capacity, in log records, of each per-thread circular transaction log.
+    pub log_region_records: usize,
+    /// Capacity, in addresses, of each per-transaction overflow list.
+    pub overflow_list_entries: usize,
+    /// Number of bits in the read-set overflow signature.
+    pub read_signature_bits: usize,
+    /// HTM conflict resolution policy (the paper's default is first-writer
+    /// wins, as in IBM POWER8).
+    pub conflict_policy: ConflictPolicy,
+    /// Maximum number of times an HTM transaction retries before taking the
+    /// software fallback path.
+    pub max_htm_retries: usize,
+}
+
+impl SystemConfig {
+    /// The configuration used throughout the paper's evaluation (Table III).
+    pub fn isca18_baseline() -> Self {
+        SystemConfig {
+            num_cores: 8,
+            core_freq_hz: 2_000_000_000,
+            l1: CacheGeometry::isca18_l1(),
+            llc: CacheGeometry::isca18_llc(),
+            llc_tiles: 8,
+            mshrs: 32,
+            latency: LatencyConfig::isca18_baseline(),
+            software: SoftwareCostConfig::isca18_baseline(),
+            mem_bandwidth_bytes_per_sec: 5.3e9,
+            bandwidth_multiplier: 1.0,
+            log_buffer_entries: 64,
+            log_region_records: 64 * 1024,
+            overflow_list_entries: 16 * 1024,
+            read_signature_bits: 2048,
+            conflict_policy: ConflictPolicy::FirstWriterWins,
+            max_htm_retries: 8,
+        }
+    }
+
+    /// A scaled-down configuration for fast unit/integration tests: 4 cores,
+    /// small caches, small logs. Behavioural properties (coalescing,
+    /// overflow, recovery) are identical, only capacities shrink.
+    pub fn small_test() -> Self {
+        SystemConfig {
+            num_cores: 4,
+            l1: CacheGeometry::new(2 * 1024, 2, LINE_SIZE),
+            llc: CacheGeometry::new(32 * 1024, 4, LINE_SIZE),
+            llc_tiles: 2,
+            log_buffer_entries: 4,
+            log_region_records: 4 * 1024,
+            overflow_list_entries: 1024,
+            read_signature_bits: 256,
+            ..Self::isca18_baseline()
+        }
+    }
+
+    /// Effective memory bandwidth in bytes per core cycle, after applying the
+    /// bandwidth multiplier.
+    ///
+    /// With the baseline parameters this is 5.3 GB/s ÷ 2 GHz = 2.65 B/cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.mem_bandwidth_bytes_per_sec * self.bandwidth_multiplier / self.core_freq_hz as f64
+    }
+
+    /// Returns a copy with a different log-buffer size (Figure 6 sweep).
+    #[must_use]
+    pub fn with_log_buffer_entries(mut self, entries: usize) -> Self {
+        self.log_buffer_entries = entries;
+        self
+    }
+
+    /// Returns a copy with a different bandwidth multiplier (Table VII sweep).
+    #[must_use]
+    pub fn with_bandwidth_multiplier(mut self, multiplier: f64) -> Self {
+        self.bandwidth_multiplier = multiplier;
+        self
+    }
+
+    /// Returns a copy with a different core count.
+    #[must_use]
+    pub fn with_num_cores(mut self, num_cores: usize) -> Self {
+        self.num_cores = num_cores;
+        self
+    }
+
+    /// Returns a copy with a different conflict resolution policy.
+    #[must_use]
+    pub fn with_conflict_policy(mut self, policy: ConflictPolicy) -> Self {
+        self.conflict_policy = policy;
+        self
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error string if any field is out of range.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.num_cores == 0 {
+            return Err("num_cores must be > 0".into());
+        }
+        if self.log_buffer_entries == 0 {
+            return Err("log_buffer_entries must be > 0".into());
+        }
+        if self.bytes_per_cycle() <= 0.0 {
+            return Err("memory bandwidth must be positive".into());
+        }
+        if self.llc.capacity_bytes < self.l1.capacity_bytes {
+            return Err("LLC must be at least as large as one L1".into());
+        }
+        if self.read_signature_bits == 0 || !self.read_signature_bits.is_power_of_two() {
+            return Err("read_signature_bits must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::isca18_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_iii() {
+        let cfg = SystemConfig::isca18_baseline();
+        assert_eq!(cfg.num_cores, 8);
+        assert_eq!(cfg.l1.capacity_bytes, 32 * 1024);
+        assert_eq!(cfg.l1.ways, 4);
+        assert_eq!(cfg.l1.line_size, 64);
+        assert_eq!(cfg.llc.capacity_bytes, 8 * 1024 * 1024);
+        assert_eq!(cfg.llc.ways, 16);
+        assert_eq!(cfg.latency.l1_hit, 3);
+        assert_eq!(cfg.latency.llc_hit, 30);
+        assert_eq!(cfg.latency.nvm_read, 240);
+        assert_eq!(cfg.latency.nvm_write, 360);
+        assert_eq!(cfg.mshrs, 32);
+        assert_eq!(cfg.log_buffer_entries, 64);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn bytes_per_cycle_matches_peak_bandwidth() {
+        let cfg = SystemConfig::isca18_baseline();
+        let bpc = cfg.bytes_per_cycle();
+        assert!((bpc - 2.65).abs() < 1e-9, "got {bpc}");
+        let cfg10 = cfg.with_bandwidth_multiplier(10.0);
+        assert!((cfg10.bytes_per_cycle() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_geometry_sets() {
+        let g = CacheGeometry::isca18_l1();
+        assert_eq!(g.num_lines(), 512);
+        assert_eq!(g.num_sets(), 128);
+    }
+
+    #[test]
+    fn llc_geometry_sets() {
+        let g = CacheGeometry::isca18_llc();
+        assert_eq!(g.num_lines(), 131_072);
+        assert_eq!(g.num_sets(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        CacheGeometry::new(3 * 1024, 4, 64);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = SystemConfig::small_test();
+        assert!(cfg.validate().is_ok());
+        cfg.num_cores = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::small_test();
+        cfg.log_buffer_entries = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::small_test();
+        cfg.read_signature_bits = 100;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let cfg = SystemConfig::isca18_baseline()
+            .with_log_buffer_entries(16)
+            .with_num_cores(4)
+            .with_conflict_policy(ConflictPolicy::RequesterWins);
+        assert_eq!(cfg.log_buffer_entries, 16);
+        assert_eq!(cfg.num_cores, 4);
+        assert_eq!(cfg.conflict_policy, ConflictPolicy::RequesterWins);
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        assert!(SystemConfig::small_test().validate().is_ok());
+    }
+}

@@ -1,0 +1,121 @@
+//! The workspace-wide error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::ids::{CoreId, TxId};
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DhtmError>;
+
+/// Errors surfaced by the DHTM library and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DhtmError {
+    /// The per-thread transaction log ran out of space. The paper's policy is
+    /// to abort the transaction with a log-overflow indication so the OS can
+    /// allocate a larger log and retry.
+    LogOverflow {
+        /// Transaction whose log write failed.
+        tx: TxId,
+        /// Capacity of the log region in records.
+        capacity: usize,
+    },
+    /// The per-transaction overflow list ran out of space.
+    OverflowListFull {
+        /// Transaction whose overflow-list append failed.
+        tx: TxId,
+        /// Capacity of the overflow list in entries.
+        capacity: usize,
+    },
+    /// An operation was attempted on a core that has no active transaction.
+    NoActiveTransaction {
+        /// The offending core.
+        core: CoreId,
+    },
+    /// A transaction was started on a core whose previous transaction has not
+    /// yet reached its completion point (Section III-B: only one set of write
+    /// bits per cache line exists).
+    PreviousTransactionIncomplete {
+        /// The offending core.
+        core: CoreId,
+    },
+    /// An access touched an address outside any region known to the simulated
+    /// memory allocator.
+    UnmappedAddress {
+        /// The raw byte address.
+        raw: u64,
+    },
+    /// Configuration validation failed.
+    InvalidConfig(
+        /// Human-readable description of the problem.
+        String,
+    ),
+    /// The recovery log was corrupt or ended unexpectedly.
+    CorruptLog(
+        /// Human-readable description of the problem.
+        String,
+    ),
+}
+
+impl fmt::Display for DhtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhtmError::LogOverflow { tx, capacity } => {
+                write!(f, "transaction log overflow for {tx} (capacity {capacity} records)")
+            }
+            DhtmError::OverflowListFull { tx, capacity } => {
+                write!(f, "overflow list full for {tx} (capacity {capacity} entries)")
+            }
+            DhtmError::NoActiveTransaction { core } => {
+                write!(f, "no active transaction on {core}")
+            }
+            DhtmError::PreviousTransactionIncomplete { core } => {
+                write!(f, "previous transaction on {core} has not completed")
+            }
+            DhtmError::UnmappedAddress { raw } => {
+                write!(f, "access to unmapped address 0x{raw:x}")
+            }
+            DhtmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DhtmError::CorruptLog(msg) => write!(f, "corrupt transaction log: {msg}"),
+        }
+    }
+}
+
+impl StdError for DhtmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        assert_send_sync::<DhtmError>();
+        let e = DhtmError::LogOverflow {
+            tx: TxId::new(7),
+            capacity: 128,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("tx7"));
+        assert!(msg.contains("128"));
+    }
+
+    #[test]
+    fn all_variants_display_nonempty() {
+        let variants = vec![
+            DhtmError::LogOverflow { tx: TxId::new(1), capacity: 1 },
+            DhtmError::OverflowListFull { tx: TxId::new(1), capacity: 1 },
+            DhtmError::NoActiveTransaction { core: CoreId::new(0) },
+            DhtmError::PreviousTransactionIncomplete { core: CoreId::new(0) },
+            DhtmError::UnmappedAddress { raw: 0xdead },
+            DhtmError::InvalidConfig("bad".into()),
+            DhtmError::CorruptLog("truncated".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+}

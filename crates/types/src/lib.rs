@@ -1,0 +1,45 @@
+//! # dhtm-types
+//!
+//! Foundational types shared by every crate in the DHTM reproduction
+//! workspace: byte/cache-line/word addressing, core and transaction
+//! identifiers, the system configuration corresponding to Table III of the
+//! paper, statistics containers and the common error type.
+//!
+//! The DHTM paper ("DHTM: Durable Hardware Transactional Memory", ISCA 2018)
+//! models a multicore with private L1 caches, a shared LLC holding the
+//! coherence directory and byte-addressable non-volatile main memory. All of
+//! the geometric and timing parameters of that system live in
+//! [`config::SystemConfig`], and all address arithmetic is funnelled through
+//! the newtypes in [`addr`] so that a byte address can never be confused with
+//! a cache-line address.
+//!
+//! ## Example
+//!
+//! ```
+//! use dhtm_types::addr::{Address, LineAddr};
+//! use dhtm_types::config::SystemConfig;
+//!
+//! let cfg = SystemConfig::isca18_baseline();
+//! assert_eq!(cfg.num_cores, 8);
+//!
+//! let a = Address::new(0x1234);
+//! let line: LineAddr = a.line();
+//! assert_eq!(line.base().raw(), 0x1200);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod addr;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod policy;
+pub mod stats;
+
+pub use addr::{Address, LineAddr, WordIndex, LINE_SIZE, WORDS_PER_LINE, WORD_SIZE};
+pub use config::{CacheGeometry, LatencyConfig, SystemConfig};
+pub use error::{DhtmError, Result};
+pub use ids::{CoreId, ThreadId, TxId};
+pub use policy::{ConflictPolicy, DesignKind};
+pub use stats::{RunStats, TxStats};

@@ -1,0 +1,85 @@
+//! # dhtm-workloads
+//!
+//! The workloads of the paper's evaluation (Section V, Table IV), implemented
+//! as data structures laid out in *simulated* persistent memory so that every
+//! access a workload performs becomes a concrete cache-line access in the
+//! simulator:
+//!
+//! * the six NVHeaps-style micro-benchmarks — [`micro::QueueWorkload`],
+//!   [`micro::HashWorkload`], [`micro::SdgWorkload`], [`micro::SpsWorkload`],
+//!   [`micro::BTreeWorkload`] and [`micro::RbTreeWorkload`] — each performing
+//!   batches of atomic insert/delete/swap operations sized to reproduce the
+//!   write-set footprints of Table IV;
+//! * the OLTP workloads — [`oltp::TatpWorkload`] and [`oltp::TpccWorkload`] —
+//!   in-memory row stores whose transactions have write working sets
+//!   comparable to (TATP) or exceeding (TPC-C) the 32 KB L1.
+//!
+//! Each workload keeps a host-side model of its data structure (so that the
+//! operations are semantically real — collisions, splits, rotations, row
+//! look-ups) and renders every operation into the [`dhtm_sim::workload::TxOp`]
+//! stream the simulator executes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod heap;
+pub mod micro;
+pub mod oltp;
+pub mod trace;
+
+pub use heap::SimHeap;
+pub use micro::{
+    BTreeWorkload, HashWorkload, MicroKind, QueueWorkload, RbTreeWorkload, SdgWorkload,
+    SpsWorkload,
+};
+pub use oltp::{TatpWorkload, TpccWorkload};
+pub use trace::TraceBuilder;
+
+use dhtm_sim::workload::Workload;
+
+/// The six micro-benchmarks in the order the paper's figures present them.
+pub fn micro_suite(seed: u64) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(QueueWorkload::new(seed)),
+        Box::new(HashWorkload::new(seed)),
+        Box::new(SdgWorkload::new(seed)),
+        Box::new(SpsWorkload::new(seed)),
+        Box::new(BTreeWorkload::new(seed)),
+        Box::new(RbTreeWorkload::new(seed)),
+    ]
+}
+
+/// Builds a micro-benchmark by name ("queue", "hash", "sdg", "sps", "btree",
+/// "rbtree").
+pub fn micro_by_name(name: &str, seed: u64) -> Option<Box<dyn Workload>> {
+    let kind = match name {
+        "queue" => MicroKind::Queue,
+        "hash" => MicroKind::Hash,
+        "sdg" => MicroKind::Sdg,
+        "sps" => MicroKind::Sps,
+        "btree" => MicroKind::BTree,
+        "rbtree" => MicroKind::RbTree,
+        _ => return None,
+    };
+    Some(micro::build(kind, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_benchmarks_with_paper_names() {
+        let suite = micro_suite(1);
+        let names: Vec<_> = suite.iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["queue", "hash", "sdg", "sps", "btree", "rbtree"]);
+    }
+
+    #[test]
+    fn lookup_by_name_matches_suite() {
+        for name in ["queue", "hash", "sdg", "sps", "btree", "rbtree"] {
+            assert_eq!(micro_by_name(name, 3).unwrap().name(), name);
+        }
+        assert!(micro_by_name("nope", 3).is_none());
+    }
+}

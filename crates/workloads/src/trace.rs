@@ -1,0 +1,127 @@
+//! Helper for rendering workload operations into transaction op streams.
+
+use dhtm_sim::locks::LockId;
+use dhtm_sim::workload::{Transaction, TxOp};
+use dhtm_types::addr::{Address, LINE_SIZE};
+
+/// Accumulates the memory operations and lock set of one transaction while
+/// the workload's host-side logic runs.
+#[derive(Debug, Default, Clone)]
+pub struct TraceBuilder {
+    ops: Vec<TxOp>,
+    locks: Vec<LockId>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a word load.
+    pub fn read(&mut self, addr: Address) -> &mut Self {
+        self.ops.push(TxOp::Read(addr));
+        self
+    }
+
+    /// Records a word store.
+    pub fn write(&mut self, addr: Address, value: u64) -> &mut Self {
+        self.ops.push(TxOp::Write(addr, value));
+        self
+    }
+
+    /// Records a read of every word of the cache line containing `addr`
+    /// (reading a whole object/row).
+    pub fn read_line(&mut self, addr: Address) -> &mut Self {
+        let base = addr.line().base();
+        // One access per line is enough to bring it into the read set; touch
+        // two words to model field accesses without inflating the op count.
+        self.ops.push(TxOp::Read(base));
+        self.ops.push(TxOp::Read(base.offset(8)));
+        self
+    }
+
+    /// Records writes covering the cache line containing `addr` (writing a
+    /// whole object/row), using `value` as the payload seed.
+    pub fn write_line(&mut self, addr: Address, value: u64) -> &mut Self {
+        let base = addr.line().base();
+        self.ops.push(TxOp::Write(base, value));
+        self.ops.push(TxOp::Write(base.offset(8), value ^ 0xff));
+        self
+    }
+
+    /// Records writes covering `n` consecutive cache lines starting at
+    /// `addr` (a multi-line row or node).
+    pub fn write_span(&mut self, addr: Address, n: u64, value: u64) -> &mut Self {
+        for i in 0..n {
+            self.write_line(addr.offset(i * LINE_SIZE as u64), value.wrapping_add(i));
+        }
+        self
+    }
+
+    /// Records reads covering `n` consecutive cache lines starting at `addr`.
+    pub fn read_span(&mut self, addr: Address, n: u64) -> &mut Self {
+        for i in 0..n {
+            self.read_line(addr.offset(i * LINE_SIZE as u64));
+        }
+        self
+    }
+
+    /// Records local computation.
+    pub fn compute(&mut self, cycles: u64) -> &mut Self {
+        self.ops.push(TxOp::Compute(cycles));
+        self
+    }
+
+    /// Adds a lock to the transaction's lock set (deduplicated).
+    pub fn lock(&mut self, lock: LockId) -> &mut Self {
+        if !self.locks.contains(&lock) {
+            self.locks.push(lock);
+        }
+        self
+    }
+
+    /// Number of operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finalises the transaction.
+    pub fn build(self, label: &'static str) -> Transaction {
+        Transaction::new(self.ops, self.locks, label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_ops_and_locks() {
+        let mut b = TraceBuilder::new();
+        b.read(Address::new(0x100))
+            .write(Address::new(0x140), 7)
+            .compute(5)
+            .lock(LockId(3))
+            .lock(LockId(3));
+        let tx = b.build("t");
+        assert_eq!(tx.ops.len(), 3);
+        assert_eq!(tx.locks, vec![LockId(3)]);
+        assert_eq!(tx.label, "t");
+    }
+
+    #[test]
+    fn line_and_span_helpers_cover_expected_lines() {
+        let mut b = TraceBuilder::new();
+        b.write_span(Address::new(0x1000), 3, 1);
+        b.read_span(Address::new(0x4000), 2);
+        let tx = b.build("span");
+        assert_eq!(tx.write_set_lines().len(), 3);
+        assert_eq!(tx.read_set_lines().len(), 2);
+    }
+}

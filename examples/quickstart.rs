@@ -1,0 +1,38 @@
+//! Quick start: run the DHTM engine on the hash micro-benchmark for a few
+//! hundred transactions, print the run statistics, then crash the machine and
+//! recover it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dhtm::prelude::*;
+use dhtm_sim::driver::{RunLimits, Simulator};
+use dhtm_workloads::HashWorkload;
+
+fn main() {
+    // The paper's 8-core machine (Table III).
+    let cfg = SystemConfig::isca18_baseline();
+    let mut machine = Machine::new(cfg.clone());
+    let mut engine = DhtmEngine::new(&cfg);
+    let mut workload = HashWorkload::new(42);
+
+    let limits = RunLimits::quick().with_target_commits(200);
+    let result = Simulator::new().run(&mut machine, &mut engine, &mut workload, &limits);
+
+    println!("design:   {}", result.design);
+    println!("workload: {}", result.workload);
+    println!("{}", result.stats);
+    println!();
+
+    // Everything a committed transaction wrote is durable: take a crash
+    // snapshot of persistent memory and run the recovery manager.
+    let mut crashed = machine.mem.domain().crash_snapshot();
+    let report = RecoveryManager::new()
+        .recover(&mut crashed)
+        .expect("recovery succeeds");
+    println!(
+        "recovery: {} replayed, {} rolled back, {} already complete",
+        report.replayed_transactions, report.rolled_back_transactions, report.skipped_complete
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the DHTM reproduction repository: re-exports the
+//! public API of the workspace so that the examples under `examples/` and the
+//! integration tests under `tests/` have a single import surface.
+//!
+//! See the `dhtm` crate for the library documentation, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured results.
+
+pub use dhtm;
+pub use dhtm_baselines as baselines;
+pub use dhtm_cache as cache;
+pub use dhtm_coherence as coherence;
+pub use dhtm_htm as htm;
+pub use dhtm_nvm as nvm;
+pub use dhtm_sim as sim;
+pub use dhtm_types as types;
+pub use dhtm_workloads as workloads;

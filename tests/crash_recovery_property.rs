@@ -1,0 +1,120 @@
+//! Property-based crash-consistency tests: whatever sequence of transactions
+//! runs and whenever the crash happens, recovery leaves every transaction
+//! all-or-nothing (atomic durability).
+
+use proptest::prelude::*;
+
+use dhtm::prelude::*;
+use dhtm_sim::engine::StepOutcome;
+
+/// One randomly generated transaction: a set of (slot, value) updates.
+#[derive(Debug, Clone)]
+struct PlannedTx {
+    slots: Vec<u8>,
+    value: u64,
+}
+
+fn slot_address(slot: u8) -> Address {
+    Address::new(0x100_000 + slot as u64 * 64)
+}
+
+/// Runs the planned transactions on a single core, crashing after
+/// `crash_after` committed transactions, and checks that recovery yields a
+/// state in which each transaction is either fully applied or fully absent.
+fn check_atomic_durability(plan: &[PlannedTx], crash_after: usize) {
+    let cfg = SystemConfig::small_test();
+    let mut machine = Machine::new(cfg.clone());
+    let mut engine = DhtmEngine::new(&cfg);
+    engine.init(&mut machine);
+    let core = CoreId::new(0);
+
+    let mut committed: Vec<&PlannedTx> = Vec::new();
+    let mut now = 0u64;
+    for (i, tx) in plan.iter().enumerate() {
+        if i >= crash_after {
+            break;
+        }
+        now += 1_000;
+        engine.begin(&mut machine, core, &[], now);
+        for &slot in &tx.slots {
+            now += 50;
+            let out = engine.write(&mut machine, core, slot_address(slot), tx.value, now);
+            assert!(matches!(out, StepOutcome::Done { .. }), "single-core writes never conflict");
+        }
+        now += 10_000;
+        let out = engine.commit(&mut machine, core, now);
+        assert!(out.is_done());
+        committed.push(tx);
+    }
+    // Start (but do not commit) one more transaction so the crash interrupts
+    // an active transaction too.
+    if let Some(tx) = plan.get(crash_after) {
+        now += 1_000;
+        engine.begin(&mut machine, core, &[], now);
+        for &slot in &tx.slots {
+            now += 50;
+            let _ = engine.write(&mut machine, core, slot_address(slot), tx.value, now);
+        }
+        // no commit: crash happens here
+    }
+
+    let mut crashed = machine.mem.domain().crash_snapshot();
+    RecoveryManager::new().recover(&mut crashed).unwrap();
+
+    // Every committed transaction's writes are fully present: the final value
+    // of each slot equals the value written by the *last* committed
+    // transaction that touched it (0 if none did).
+    let mut expected = std::collections::HashMap::new();
+    for tx in &committed {
+        for &slot in &tx.slots {
+            expected.insert(slot, tx.value);
+        }
+    }
+    for slot in 0u8..=63 {
+        let want = expected.get(&slot).copied().unwrap_or(0);
+        let got = crashed.memory().read_word(slot_address(slot));
+        assert_eq!(got, want, "slot {slot} after recovery");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn committed_transactions_survive_crashes_uncommitted_ones_vanish(
+        plan in proptest::collection::vec(
+            (proptest::collection::vec(0u8..64, 1..8), 1u64..u64::MAX)
+                .prop_map(|(slots, value)| PlannedTx { slots, value }),
+            1..6,
+        ),
+        crash_point in 0usize..6,
+    ) {
+        let crash_after = crash_point.min(plan.len());
+        check_atomic_durability(&plan, crash_after);
+    }
+
+    #[test]
+    fn recovery_is_idempotent_for_random_logs(
+        lines in proptest::collection::vec(0u64..128, 1..20),
+        value in 1u64..1000,
+    ) {
+        use dhtm_nvm::record::LogRecord;
+        use dhtm_types::ids::{ThreadId, TxId};
+        let mut domain = dhtm_nvm::PersistentDomain::new(1, 1024, 128);
+        let tx = TxId::new(1);
+        for &l in &lines {
+            domain.log_mut(ThreadId::new(0))
+                .append(LogRecord::redo(tx, dhtm_types::LineAddr::new(l), [value; 8]))
+                .unwrap();
+        }
+        domain.log_mut(ThreadId::new(0)).append(LogRecord::commit(tx)).unwrap();
+        let mut once = domain.crash_snapshot();
+        RecoveryManager::new().recover(&mut once).unwrap();
+        let mut twice = once.clone();
+        RecoveryManager::new().recover(&mut twice).unwrap();
+        for &l in &lines {
+            prop_assert_eq!(once.read_line(dhtm_types::LineAddr::new(l)), [value; 8]);
+            prop_assert_eq!(twice.read_line(dhtm_types::LineAddr::new(l)), [value; 8]);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Integration test reproducing the Figure 4 transaction lifecycle across
+//! crates: a DHTM transaction whose write set overflows the L1, exercising
+//! the commit-complete path (4e/4f) and the abort-complete path (4g/4h).
+
+use dhtm::prelude::*;
+use dhtm_types::ids::ThreadId;
+use dhtm_types::policy::ConflictPolicy;
+
+fn overflowing_transaction(
+    engine: &mut DhtmEngine,
+    machine: &mut Machine,
+    core: CoreId,
+    base: u64,
+) -> Vec<Address> {
+    engine.begin(machine, core, &[], 0);
+    // The small_test L1 is 2-way with 16 sets; three writes to the same set
+    // force one write-set line to overflow to the LLC.
+    let stride = 16 * 64u64;
+    let addrs: Vec<Address> = (0..3).map(|i| Address::new(base + i * stride)).collect();
+    for (i, a) in addrs.iter().enumerate() {
+        let out = engine.write(machine, core, *a, 100 + i as u64, 10 * (i as u64 + 1));
+        assert!(out.is_done(), "write-set overflow must not abort DHTM");
+    }
+    addrs
+}
+
+#[test]
+fn commit_path_writes_everything_in_place_and_cleans_up() {
+    let cfg = SystemConfig::small_test();
+    let mut machine = Machine::new(cfg.clone());
+    let mut engine = DhtmEngine::new(&cfg);
+    engine.init(&mut machine);
+    let core = CoreId::new(0);
+    let thread = ThreadId::new(0);
+
+    let addrs = overflowing_transaction(&mut engine, &mut machine, core, 0x40_000);
+    let tx = engine.state(core).tx;
+    // Mid-transaction durable state: the overflow list names the overflowed
+    // line; nothing is in place yet.
+    assert_eq!(engine.state(core).overflowed.len(), 1);
+    let overflowed = *engine.state(core).overflowed.iter().next().unwrap();
+    assert!(machine.mem.domain().overflow_list(thread).contains(tx, overflowed));
+    for a in &addrs {
+        assert_eq!(machine.mem.domain().read_word(*a), 0);
+    }
+    // The sticky directory state keeps the overflowed line owned by core 0.
+    let dir = machine.mem.llc().entry(overflowed).unwrap();
+    assert!(dir.is_sharer(core));
+    assert!(dir.state.is_exclusive_like());
+
+    assert!(engine.commit(&mut machine, core, 10_000).is_done());
+
+    // Figure 4f: data in place, overflow list cleared, log reclaimed.
+    for (i, a) in addrs.iter().enumerate() {
+        assert_eq!(machine.mem.domain().read_word(*a), 100 + i as u64);
+    }
+    assert!(machine.mem.domain().overflow_list(thread).lines_for(tx).is_empty());
+    assert!(machine.mem.domain().log(thread).is_empty());
+    // And the next transaction on the same core can begin.
+    assert!(engine.begin(&mut machine, core, &[], 50_000).is_done());
+    assert!(engine.commit(&mut machine, core, 51_000).is_done());
+}
+
+#[test]
+fn abort_path_discards_speculative_state_everywhere() {
+    let cfg = SystemConfig::small_test().with_conflict_policy(ConflictPolicy::RequesterWins);
+    let mut machine = Machine::new(cfg.clone());
+    let mut engine = DhtmEngine::new(&cfg);
+    engine.init(&mut machine);
+    let core = CoreId::new(0);
+    let rival = CoreId::new(1);
+    let thread = ThreadId::new(0);
+
+    // Pre-existing durable values that must survive the abort.
+    for i in 0..3u64 {
+        machine
+            .mem
+            .domain_mut()
+            .write_word(Address::new(0x40_000 + i * 16 * 64), 7_000 + i);
+    }
+    let addrs = overflowing_transaction(&mut engine, &mut machine, core, 0x40_000);
+    let overflowed = *engine.state(core).overflowed.iter().next().unwrap();
+
+    // A rival write dooms the transaction (requester wins).
+    engine.begin(&mut machine, rival, &[], 5_000);
+    assert!(engine.write(&mut machine, rival, addrs[0], 999, 5_100).is_done());
+    let out = engine.read(&mut machine, core, Address::new(0x90_000), 6_000);
+    assert!(matches!(out, dhtm_sim::engine::StepOutcome::Aborted { .. }));
+
+    // Figure 4h: the overflowed LLC line is invalidated, the overflow list is
+    // cleared, and the old in-place values are intact (except the line the
+    // rival now legitimately owns speculatively, which is still old in
+    // memory because the rival has not committed).
+    assert!(machine.mem.llc().entry(overflowed).is_none());
+    assert!(machine.mem.domain().overflow_list(thread).is_empty());
+    for i in 0..3u64 {
+        assert_eq!(
+            machine.mem.domain().read_word(Address::new(0x40_000 + i * 16 * 64)),
+            7_000 + i
+        );
+    }
+    // Crash + recovery after the abort also preserves the old values.
+    let mut crashed = machine.mem.domain().crash_snapshot();
+    RecoveryManager::new().recover(&mut crashed).unwrap();
+    for i in 0..3u64 {
+        assert_eq!(
+            crashed.memory().read_word(Address::new(0x40_000 + i * 16 * 64)),
+            7_000 + i
+        );
+    }
+}
