@@ -73,8 +73,10 @@ impl AtomEngine {
         } else {
             machine.mem.load(core, line, now, &mut NoConflicts)
         };
-        if let Some((vline, ventry)) = out.evicted_victim.clone() {
-            machine.mem.evict_nontransactional(core, vline, &ventry, now);
+        if let Some((vline, ventry)) = out.evicted_victim {
+            machine
+                .mem
+                .evict_nontransactional(core, vline, &ventry, now);
         }
         out.done
     }
@@ -199,7 +201,11 @@ impl TxEngine for AtomEngine {
         // transaction can commit and release its locks — this flush is the
         // commit critical path that DHTM avoids.
         let mut flush_done = now.max(self.cores[core.get()].undo_persist_horizon);
-        let written: Vec<LineAddr> = self.cores[core.get()].written_lines.iter().copied().collect();
+        let written: Vec<LineAddr> = self.cores[core.get()]
+            .written_lines
+            .iter()
+            .copied()
+            .collect();
         for line in written {
             if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, now) {
                 flush_done = flush_done.max(done);
@@ -280,7 +286,11 @@ mod tests {
         let mut crashed = m.mem.domain().crash_snapshot();
         let report = RecoveryManager::new().recover(&mut crashed).unwrap();
         assert_eq!(report.rolled_back_transactions, 1);
-        assert_eq!(crashed.memory().read_word(addr), 7, "undo restores old value");
+        assert_eq!(
+            crashed.memory().read_word(addr),
+            7,
+            "undo restores old value"
+        );
     }
 
     #[test]
@@ -289,7 +299,9 @@ mod tests {
         e.begin(&mut m, c(0), &[LockId(1)], 0);
         let mut last_store = 0;
         for i in 0..4u64 {
-            if let StepOutcome::Done { at } = e.write(&mut m, c(0), Address::new(0x3000 + i * 64), i, 10) {
+            if let StepOutcome::Done { at } =
+                e.write(&mut m, c(0), Address::new(0x3000 + i * 64), i, 10)
+            {
                 last_store = at;
             }
         }

@@ -68,7 +68,11 @@ mod tests {
         let cfg = SystemConfig::small_test();
         for kind in DesignKind::ALL {
             let engine = build_engine(kind, &cfg);
-            assert_eq!(engine.design(), kind, "factory must preserve the design kind");
+            assert_eq!(
+                engine.design(),
+                kind,
+                "factory must preserve the design kind"
+            );
         }
     }
 }

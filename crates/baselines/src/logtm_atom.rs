@@ -79,7 +79,13 @@ impl LogTmAtomEngine {
         let record = LogRecord::undo(tx, line, old);
         let bytes = record.size_bytes();
         let thread = ThreadId::from(core);
-        if machine.mem.domain_mut().log_mut(thread).append(record).is_err() {
+        if machine
+            .mem
+            .domain_mut()
+            .log_mut(thread)
+            .append(record)
+            .is_err()
+        {
             return Err(AbortReason::LogOverflow);
         }
         let durable = machine.mem.persist_log_bytes(now, bytes);
@@ -157,12 +163,16 @@ impl LogTmAtomEngine {
             // Eager versioning: the speculative data may leave the L1; the
             // undo log protects recoverability and the sticky directory state
             // keeps conflict detection working.
-            machine.mem.writeback_to_llc(core, line, entry.data, now, true);
+            machine
+                .mem
+                .writeback_to_llc(core, line, entry.data, now, true);
             self.states[core.get()].overflowed.insert(line);
         } else if entry.read_bit {
             self.states[core.get()].signature.insert(line);
             if entry.dirty {
-                machine.mem.writeback_to_llc(core, line, entry.data, now, true);
+                machine
+                    .mem
+                    .writeback_to_llc(core, line, entry.data, now, true);
             }
         } else {
             machine.mem.evict_nontransactional(core, line, entry, now);
@@ -187,7 +197,9 @@ impl TxEngine for LogTmAtomEngine {
 
     fn init(&mut self, machine: &mut Machine) {
         let n = machine.num_cores();
-        self.states = (0..n).map(|_| HtmCoreState::new(self.signature_bits)).collect();
+        self.states = (0..n)
+            .map(|_| HtmCoreState::new(self.signature_bits))
+            .collect();
         self.undo_horizon = vec![0; n];
         self.nack_streak = vec![0; n];
     }
@@ -230,7 +242,7 @@ impl TxEngine for LogTmAtomEngine {
             return self.on_nack(machine, core, out.done);
         }
         self.nack_streak[core.get()] = 0;
-        if let Some((vline, ventry)) = out.evicted_victim.clone() {
+        if let Some((vline, ventry)) = out.evicted_victim {
             self.handle_victim(machine, core, vline, &ventry, now);
         }
         let entry = machine.mem.l1_mut(core).entry_mut(line).expect("filled");
@@ -280,7 +292,7 @@ impl TxEngine for LogTmAtomEngine {
             return self.on_nack(machine, core, out.done);
         }
         self.nack_streak[core.get()] = 0;
-        if let Some((vline, ventry)) = out.evicted_victim.clone() {
+        if let Some((vline, ventry)) = out.evicted_victim {
             self.handle_victim(machine, core, vline, &ventry, now);
         }
         if let Some(old) = old_data {
@@ -289,7 +301,12 @@ impl TxEngine for LogTmAtomEngine {
             }
         }
         machine.mem.write_word_in_l1(core, addr, value);
-        machine.mem.l1_mut(core).entry_mut(line).expect("filled").write_bit = true;
+        machine
+            .mem
+            .l1_mut(core)
+            .entry_mut(line)
+            .expect("filled")
+            .write_bit = true;
         self.states[core.get()].record_store(line);
         StepOutcome::done(out.done)
     }
@@ -313,7 +330,8 @@ impl TxEngine for LogTmAtomEngine {
                 e.write_bit = false;
             }
         }
-        let overflowed: Vec<LineAddr> = self.states[core.get()].overflowed.iter().copied().collect();
+        let overflowed: Vec<LineAddr> =
+            self.states[core.get()].overflowed.iter().copied().collect();
         for line in overflowed {
             if let Some(done) = machine.mem.llc_writeback_line_to_memory(line, now) {
                 flush_done = flush_done.max(done);
@@ -398,7 +416,13 @@ mod tests {
         let set_stride = 16 * 64u64;
         for i in 0..3u64 {
             assert!(e
-                .write(&mut m, c(0), Address::new(0x10000 + i * set_stride), i, 100 + i)
+                .write(
+                    &mut m,
+                    c(0),
+                    Address::new(0x10000 + i * set_stride),
+                    i,
+                    100 + i
+                )
                 .is_done());
         }
         assert_eq!(e.state(c(0)).overflowed.len(), 1);

@@ -139,7 +139,11 @@ impl TxEngine for SdTmEngine {
         let thread = ThreadId::from(core);
         let tx = self.cores[core.get()].tx;
         let mut durable = now;
-        let written: Vec<LineAddr> = self.cores[core.get()].written_lines.iter().copied().collect();
+        let written: Vec<LineAddr> = self.cores[core.get()]
+            .written_lines
+            .iter()
+            .copied()
+            .collect();
         for line in &written {
             let data = machine
                 .mem
@@ -149,16 +153,20 @@ impl TxEngine for SdTmEngine {
                 .unwrap_or_else(|| machine.mem.domain().read_line(*line));
             let record = LogRecord::redo(tx, *line, data);
             let bytes = record.size_bytes();
-            if machine.mem.domain_mut().log_mut(thread).append(record).is_ok() {
+            if machine
+                .mem
+                .domain_mut()
+                .log_mut(thread)
+                .append(record)
+                .is_ok()
+            {
                 durable = durable.max(machine.mem.persist_log_bytes(now, bytes));
             }
         }
         let commit_rec = LogRecord::commit(tx);
         let bytes = commit_rec.size_bytes();
         let _ = machine.mem.domain_mut().log_mut(thread).append(commit_rec);
-        durable = durable
-            .max(machine.mem.persist_log_bytes(durable, bytes))
-            + self.persist_fence;
+        durable = durable.max(machine.mem.persist_log_bytes(durable, bytes)) + self.persist_fence;
 
         let htm_out = self.htm.commit(machine, core, durable);
         let StepOutcome::Done { at } = htm_out else {
@@ -251,14 +259,26 @@ mod tests {
         let mut aborted = false;
         for i in 0..3u64 {
             // Also touch the matching log-area set by writing many lines.
-            let out = e.write(&mut m, c(0), Address::new(0x30000 + i * set_stride), i, 100 + i);
+            let out = e.write(
+                &mut m,
+                c(0),
+                Address::new(0x30000 + i * set_stride),
+                i,
+                100 + i,
+            );
             if let StepOutcome::Aborted { reason, .. } = out {
-                assert!(matches!(reason, AbortReason::Capacity | AbortReason::Conflict));
+                assert!(matches!(
+                    reason,
+                    AbortReason::Capacity | AbortReason::Conflict
+                ));
                 aborted = true;
                 break;
             }
         }
-        assert!(aborted, "write-set inflation should trigger a capacity abort");
+        assert!(
+            aborted,
+            "write-set inflation should trigger a capacity abort"
+        );
     }
 
     #[test]

@@ -88,8 +88,10 @@ impl SoEngine {
         } else {
             machine.mem.load(core, line, now, &mut NoConflicts)
         };
-        if let Some((vline, ventry)) = out.evicted_victim.clone() {
-            machine.mem.evict_nontransactional(core, vline, &ventry, now);
+        if let Some((vline, ventry)) = out.evicted_victim {
+            machine
+                .mem
+                .evict_nontransactional(core, vline, &ventry, now);
         }
         out.done
     }
@@ -212,15 +214,24 @@ impl TxEngine for SoEngine {
         let commit_rec = LogRecord::commit(tx);
         let bytes = commit_rec.size_bytes();
         let _ = machine.mem.domain_mut().log_mut(thread).append(commit_rec);
-        let commit_done =
-            machine.mem.persist_log_bytes(now + self.log_entry_setup, bytes) + self.persist_fence;
+        let commit_done = machine
+            .mem
+            .persist_log_bytes(now + self.log_entry_setup, bytes)
+            + self.persist_fence;
 
         // Data write-back is lazy (redo logging): charge the bandwidth but do
         // not wait for it before releasing the locks.
-        let written: Vec<LineAddr> = self.cores[core.get()].written_lines.iter().copied().collect();
+        let written: Vec<LineAddr> = self.cores[core.get()]
+            .written_lines
+            .iter()
+            .copied()
+            .collect();
         let mut completion = commit_done;
         for line in written {
-            if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, commit_done) {
+            if let Some(done) = machine
+                .mem
+                .l1_writeback_line_to_memory(core, line, commit_done)
+            {
                 completion = completion.max(done);
             }
         }
@@ -307,12 +318,16 @@ mod tests {
         let (mut m, mut e) = setup();
         e.begin(&mut m, c(0), &[LockId(1)], 0);
         let out = e.write(&mut m, c(0), Address::new(0x3000), 1, 10);
-        let StepOutcome::Done { at } = out else { panic!() };
+        let StepOutcome::Done { at } = out else {
+            panic!()
+        };
         // The store completes only after the NVM write latency (the flush).
         assert!(at >= 10 + m.mem.latency().nvm_write);
         // A second store to the same line coalesces: no new flush.
         let out2 = e.write(&mut m, c(0), Address::new(0x3008), 2, at);
-        let StepOutcome::Done { at: at2 } = out2 else { panic!() };
+        let StepOutcome::Done { at: at2 } = out2 else {
+            panic!()
+        };
         assert!(at2 - at < m.mem.latency().nvm_write);
     }
 

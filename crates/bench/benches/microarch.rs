@@ -35,7 +35,9 @@ fn bench_signature(c: &mut Criterion) {
                 for i in 0..256u64 {
                     sig.insert(LineAddr::new(i * 3));
                 }
-                (0..256u64).filter(|&i| sig.maybe_contains(LineAddr::new(i))).count()
+                (0..256u64)
+                    .filter(|&i| sig.maybe_contains(LineAddr::new(i)))
+                    .count()
             },
             BatchSize::SmallInput,
         )
@@ -75,7 +77,12 @@ fn bench_recovery(c: &mut Criterion) {
                 }
                 d
             },
-            |mut d| RecoveryManager::new().recover(&mut d).unwrap().replayed_transactions,
+            |mut d| {
+                RecoveryManager::new()
+                    .recover(&mut d)
+                    .unwrap()
+                    .replayed_transactions
+            },
             BatchSize::SmallInput,
         )
     });

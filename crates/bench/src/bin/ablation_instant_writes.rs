@@ -3,8 +3,10 @@
 //! NP upper bound (paper: NP is ~59% faster than DHTM).
 
 use dhtm::{DhtmEngine, DhtmOptions};
-use dhtm_bench::{default_commits_for, geometric_mean, print_row, run_pair, EXPERIMENT_SEED, MICRO_NAMES};
 use dhtm_bench::workload_by_name;
+use dhtm_bench::{
+    default_commits_for, geometric_mean, print_row, run_pair, EXPERIMENT_SEED, MICRO_NAMES,
+};
 use dhtm_sim::driver::{RunLimits, Simulator};
 use dhtm_sim::machine::Machine;
 use dhtm_types::config::SystemConfig;
@@ -20,10 +22,13 @@ fn run_dhtm_variant(options: DhtmOptions, workload: &str, cfg: &SystemConfig) ->
 }
 
 fn main() {
-    let cfg = SystemConfig::isca18_baseline();
+    let cfg = dhtm_bench::experiment_config();
     println!("# Section VI-D: instant-write ablation and the NP upper bound (normalised to SO)");
     println!("# Paper reference: DHTM+instant ~1.16x DHTM; NP ~1.59x DHTM");
-    print_row("workload", &["DHTM".into(), "DHTM-instant".into(), "NP".into()]);
+    print_row(
+        "workload",
+        &["DHTM".into(), "DHTM-instant".into(), "NP".into()],
+    );
     let mut ratios_instant = Vec::new();
     let mut ratios_np = Vec::new();
     for wl in MICRO_NAMES {

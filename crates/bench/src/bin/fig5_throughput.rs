@@ -2,11 +2,10 @@
 //! six micro-benchmarks, normalised to SO.
 
 use dhtm_bench::{geometric_mean, normalised_throughput, print_row, run_designs, MICRO_NAMES};
-use dhtm_types::config::SystemConfig;
 use dhtm_types::policy::DesignKind;
 
 fn main() {
-    let cfg = SystemConfig::isca18_baseline();
+    let cfg = dhtm_bench::experiment_config();
     let designs = [
         DesignKind::SoftwareOnly,
         DesignKind::SdTm,
@@ -16,9 +15,12 @@ fn main() {
     ];
     println!("# Figure 5: throughput normalised to SO (8 cores, Table III config)");
     println!("# Paper reference (averages): sdTM 1.20x, ATOM 1.35x, LogTM-ATOM ~1.44x, DHTM 1.61x");
-    let mut header = vec!["workload".to_string()];
-    header.extend(designs.iter().skip(1).map(|d| d.label().to_string()));
-    print_row("workload", &header[1..].to_vec());
+    let header: Vec<String> = designs
+        .iter()
+        .skip(1)
+        .map(|d| d.label().to_string())
+        .collect();
+    print_row("workload", &header);
     let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len() - 1];
     for wl in MICRO_NAMES {
         let results = run_designs(&designs, wl, &cfg);

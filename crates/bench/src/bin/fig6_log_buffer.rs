@@ -1,7 +1,6 @@
 //! Figure 6: DHTM throughput sensitivity to the log-buffer size (hash).
 
-use dhtm_bench::{print_row, run_pair, default_commits_for};
-use dhtm_types::config::SystemConfig;
+use dhtm_bench::{default_commits_for, print_row, run_pair};
 use dhtm_types::policy::DesignKind;
 
 fn main() {
@@ -11,14 +10,20 @@ fn main() {
     let baseline = run_pair(
         DesignKind::Dhtm,
         "hash",
-        &SystemConfig::isca18_baseline().with_log_buffer_entries(64),
+        &dhtm_bench::experiment_config().with_log_buffer_entries(64),
         commits,
     )
     .throughput();
-    print_row("entries", &["4", "8", "16", "32", "64", "128"].iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    print_row(
+        "entries",
+        &["4", "8", "16", "32", "64", "128"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
     let mut row = Vec::new();
     for entries in [4usize, 8, 16, 32, 64, 128] {
-        let cfg = SystemConfig::isca18_baseline().with_log_buffer_entries(entries);
+        let cfg = dhtm_bench::experiment_config().with_log_buffer_entries(entries);
         let res = run_pair(DesignKind::Dhtm, "hash", &cfg, commits);
         row.push(format!("{:.3}", res.throughput() / baseline));
     }

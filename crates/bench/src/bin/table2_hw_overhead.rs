@@ -4,11 +4,19 @@ use dhtm::hw_overhead::{hardware_overhead, total_overhead_bytes};
 use dhtm_types::config::SystemConfig;
 
 fn main() {
+    // Pure register-size arithmetic, no simulation: always report the
+    // paper's Table III machine regardless of quick mode.
     let cfg = SystemConfig::isca18_baseline();
-    println!("# Table II: DHTM hardware overhead (per core, 64-entry log buffer)");
+    println!(
+        "# Table II: DHTM hardware overhead (per core, {}-entry log buffer)",
+        cfg.log_buffer_entries
+    );
     println!("| {:<28} | {:<42} | bits |", "register", "description");
     for reg in hardware_overhead(&cfg) {
-        println!("| {:<28} | {:<42} | {} |", reg.name, reg.description, reg.bits);
+        println!(
+            "| {:<28} | {:<42} | {} |",
+            reg.name, reg.description, reg.bits
+        );
     }
     println!("total: {} bytes per core", total_overhead_bytes(&cfg));
 }

@@ -2,11 +2,10 @@
 //! write-set footprint of committed DHTM transactions.
 
 use dhtm_bench::{default_commits_for, print_row, run_pair};
-use dhtm_types::config::SystemConfig;
 use dhtm_types::policy::DesignKind;
 
 fn main() {
-    let cfg = SystemConfig::isca18_baseline();
+    let cfg = dhtm_bench::experiment_config();
     println!("# Table IV: mean write-set size per transaction (cache lines)");
     let paper = [
         ("tpcc", 590.0),
@@ -23,7 +22,10 @@ fn main() {
         let res = run_pair(DesignKind::Dhtm, wl, &cfg, default_commits_for(wl).min(64));
         print_row(
             wl,
-            &[format!("{:.0}", res.stats.mean_write_set_lines()), format!("{reference:.0}")],
+            &[
+                format!("{:.0}", res.stats.mean_write_set_lines()),
+                format!("{reference:.0}"),
+            ],
         );
     }
 }

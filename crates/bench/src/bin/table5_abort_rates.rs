@@ -1,14 +1,20 @@
 //! Table V: abort rates (%) of sdTM and DHTM on the micro-benchmarks.
 
-use dhtm_bench::{print_row, run_pair, default_commits_for, MICRO_NAMES};
-use dhtm_types::config::SystemConfig;
+use dhtm_bench::{default_commits_for, print_row, run_pair, MICRO_NAMES};
 use dhtm_types::policy::DesignKind;
 
 fn main() {
-    let cfg = SystemConfig::isca18_baseline();
+    let cfg = dhtm_bench::experiment_config();
     println!("# Table V: abort rates (%)");
     println!("# Paper reference: sdTM avg 37%, DHTM avg 21%");
-    print_row("design", &MICRO_NAMES.iter().map(|s| s.to_string()).chain(["Ave.".into()]).collect::<Vec<_>>());
+    print_row(
+        "design",
+        &MICRO_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .chain(["Ave.".into()])
+            .collect::<Vec<_>>(),
+    );
     for design in [DesignKind::SdTm, DesignKind::Dhtm] {
         let mut row = Vec::new();
         let mut sum = 0.0;

@@ -1,11 +1,10 @@
 //! Table VI: TATP and TPC-C throughput of ATOM and DHTM normalised to SO.
 
 use dhtm_bench::{normalised_throughput, print_row, run_designs};
-use dhtm_types::config::SystemConfig;
 use dhtm_types::policy::DesignKind;
 
 fn main() {
-    let cfg = SystemConfig::isca18_baseline();
+    let cfg = dhtm_bench::experiment_config();
     println!("# Table VI: OLTP throughput normalised to SO");
     println!("# Paper reference: TPC-C  SO 1.00 / ATOM 1.67 / DHTM 1.88");
     println!("#                  TATP   SO 1.00 / ATOM 1.27 / DHTM 1.53");

@@ -33,6 +33,26 @@ use dhtm_workloads::{micro_by_name, TatpWorkload, TpccWorkload};
 /// Seed used by all experiments (results are deterministic given the seed).
 pub const EXPERIMENT_SEED: u64 = 0x15CA_2018;
 
+/// True when the `DHTM_BENCH_QUICK` environment variable is set (to anything
+/// but `0`): experiments then run on [`SystemConfig::small_test`] with
+/// sharply reduced commit targets so that every figure/table binary finishes
+/// in seconds. The bin smoke tests use this; real reproductions must leave
+/// it unset.
+pub fn quick_mode() -> bool {
+    std::env::var_os("DHTM_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// The machine configuration every experiment binary should simulate: the
+/// paper's Table III machine, or the small test machine in
+/// [`quick_mode`].
+pub fn experiment_config() -> SystemConfig {
+    if quick_mode() {
+        SystemConfig::small_test()
+    } else {
+        SystemConfig::isca18_baseline()
+    }
+}
+
 /// The six micro-benchmark names in the paper's order.
 pub const MICRO_NAMES: [&str; 6] = ["queue", "hash", "sdg", "sps", "btree", "rbtree"];
 
@@ -50,12 +70,18 @@ pub fn workload_by_name(name: &str, seed: u64) -> Box<dyn Workload> {
 }
 
 /// Commit targets appropriate for each workload class (OLTP transactions are
-/// an order of magnitude larger than the micro-benchmark batches).
+/// an order of magnitude larger than the micro-benchmark batches). In
+/// [`quick_mode`] the targets shrink ~20x so the smoke tests stay fast.
 pub fn default_commits_for(workload: &str) -> u64 {
-    match workload {
+    let base: u64 = match workload {
         "tpcc" => 64,
         "tatp" => 160,
         _ => 400,
+    };
+    if quick_mode() {
+        (base / 20).max(3)
+    } else {
+        base
     }
 }
 
@@ -152,8 +178,14 @@ mod tests {
     fn normalisation_is_relative_to_so() {
         let cfg = SystemConfig::small_test();
         let results = vec![
-            (DesignKind::SoftwareOnly, run_pair(DesignKind::SoftwareOnly, "hash", &cfg, 10)),
-            (DesignKind::Dhtm, run_pair(DesignKind::Dhtm, "hash", &cfg, 10)),
+            (
+                DesignKind::SoftwareOnly,
+                run_pair(DesignKind::SoftwareOnly, "hash", &cfg, 10),
+            ),
+            (
+                DesignKind::Dhtm,
+                run_pair(DesignKind::Dhtm, "hash", &cfg, 10),
+            ),
         ];
         let so_norm = normalised_throughput(&results, DesignKind::SoftwareOnly);
         assert!((so_norm - 1.0).abs() < 1e-9);

@@ -74,12 +74,12 @@ impl L1Cache {
 
     /// Whether `line` is resident with a readable state.
     pub fn has_readable(&self, line: LineAddr) -> bool {
-        self.lines.peek(line).map_or(false, |e| e.state.can_read())
+        self.lines.peek(line).is_some_and(|e| e.state.can_read())
     }
 
     /// Whether `line` is resident with a writable state.
     pub fn has_writable(&self, line: LineAddr) -> bool {
-        self.lines.peek(line).map_or(false, |e| e.state.can_write())
+        self.lines.peek(line).is_some_and(|e| e.state.can_write())
     }
 
     /// Looks up `line`, updating LRU, and records a hit/miss.

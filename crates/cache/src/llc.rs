@@ -236,7 +236,10 @@ mod tests {
     fn llc_hit_miss_accounting() {
         let mut llc = tiny_llc();
         assert!(llc.access(LineAddr::new(7)).is_none());
-        llc.insert(LineAddr::new(7), DirectoryEntry::new(MesiState::Shared, [1; 8]));
+        llc.insert(
+            LineAddr::new(7),
+            DirectoryEntry::new(MesiState::Shared, [1; 8]),
+        );
         assert!(llc.access(LineAddr::new(7)).is_some());
         assert_eq!(llc.hits(), 1);
         assert_eq!(llc.misses(), 1);
@@ -249,7 +252,10 @@ mod tests {
         let mut dirty = DirectoryEntry::new(MesiState::Modified, [5; 8]);
         dirty.dirty = true;
         llc.insert(LineAddr::new(0), dirty);
-        let victim = llc.insert(LineAddr::new(2), DirectoryEntry::new(MesiState::Shared, [0; 8]));
+        let victim = llc.insert(
+            LineAddr::new(2),
+            DirectoryEntry::new(MesiState::Shared, [0; 8]),
+        );
         let (vline, ventry) = victim.unwrap();
         assert_eq!(vline, LineAddr::new(0));
         assert!(ventry.dirty);
@@ -269,7 +275,10 @@ mod tests {
     #[test]
     fn invalidate_removes_entry() {
         let mut llc = tiny_llc();
-        llc.insert(LineAddr::new(9), DirectoryEntry::new(MesiState::Modified, [3; 8]));
+        llc.insert(
+            LineAddr::new(9),
+            DirectoryEntry::new(MesiState::Modified, [3; 8]),
+        );
         let removed = llc.invalidate(LineAddr::new(9)).unwrap();
         assert_eq!(removed.data, [3; 8]);
         assert!(!llc.contains(LineAddr::new(9)));

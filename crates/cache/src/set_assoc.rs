@@ -84,7 +84,10 @@ impl<T> SetAssocCache<T> {
     /// state (used by coherence probes, which should not perturb locality).
     pub fn peek(&self, line: LineAddr) -> Option<&T> {
         let set = self.set_index(line);
-        self.sets[set].iter().find(|s| s.line == line).map(|s| &s.entry)
+        self.sets[set]
+            .iter()
+            .find(|s| s.line == line)
+            .map(|s| &s.entry)
     }
 
     /// Mutable peek without LRU update.
@@ -175,7 +178,10 @@ impl<T> SetAssocCache<T> {
 
     /// Removes every line for which the predicate returns `true`, returning
     /// the removed pairs.
-    pub fn drain_filter(&mut self, mut pred: impl FnMut(LineAddr, &T) -> bool) -> Vec<(LineAddr, T)> {
+    pub fn drain_filter(
+        &mut self,
+        mut pred: impl FnMut(LineAddr, &T) -> bool,
+    ) -> Vec<(LineAddr, T)> {
         let mut removed = Vec::new();
         for set in &mut self.sets {
             let mut i = 0;

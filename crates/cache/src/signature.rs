@@ -29,7 +29,10 @@ impl ReadSignature {
     /// Panics if `num_bits` is zero or not a power of two.
     pub fn new(num_bits: usize) -> Self {
         assert!(num_bits > 0, "signature must have at least one bit");
-        assert!(num_bits.is_power_of_two(), "signature bits must be a power of two");
+        assert!(
+            num_bits.is_power_of_two(),
+            "signature bits must be a power of two"
+        );
         ReadSignature {
             bits: vec![0; num_bits.div_ceil(64)],
             num_bits,
@@ -144,7 +147,10 @@ mod tests {
         let false_positives = (1000..3000u64)
             .filter(|&i| s.maybe_contains(LineAddr::new(i)))
             .count();
-        assert!(false_positives < 40, "too many false positives: {false_positives}");
+        assert!(
+            false_positives < 40,
+            "too many false positives: {false_positives}"
+        );
     }
 
     #[test]
@@ -170,5 +176,101 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_panics() {
         ReadSignature::new(100);
+    }
+
+    #[test]
+    fn no_false_negatives_at_any_load() {
+        // The safety property conflict detection depends on: an inserted
+        // line is reported present no matter how saturated the filter is.
+        for bits in [64usize, 256, 2048] {
+            let mut s = ReadSignature::new(bits);
+            for i in 0..500u64 {
+                s.insert(LineAddr::new(i * 13 + 5));
+                for j in 0..=i {
+                    assert!(
+                        s.maybe_contains(LineAddr::new(j * 13 + 5)),
+                        "false negative at {bits} bits after {i} inserts"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_never_more_false_positives() {
+        // Same inserted set, same probes: widening the signature must not
+        // increase the false-positive count (Bloom monotonicity in m).
+        let inserted: Vec<LineAddr> = (0..64u64).map(|i| LineAddr::new(i * 3)).collect();
+        let fp_count = |bits: usize| {
+            let mut s = ReadSignature::new(bits);
+            for &l in &inserted {
+                s.insert(l);
+            }
+            (10_000..12_000u64)
+                .filter(|&i| s.maybe_contains(LineAddr::new(i)))
+                .count()
+        };
+        let narrow = fp_count(256);
+        let wide = fp_count(4096);
+        assert!(wide <= narrow, "4096-bit FP {wide} vs 256-bit FP {narrow}");
+    }
+
+    #[test]
+    fn false_positive_rate_near_bloom_bound() {
+        // k=2 hashes, n=64 inserts, m=2048 bits: p = (1 - e^(-kn/m))^k,
+        // about 0.37%. Allow a generous 4x margin for hash imperfection but
+        // catch gross regressions (e.g. both hashes collapsing to one).
+        let mut s = ReadSignature::new(2048);
+        for i in 0..64u64 {
+            s.insert(LineAddr::new(i * 17 + 3));
+        }
+        let probes = 20_000u64;
+        let fps = (1_000_000..1_000_000 + probes)
+            .filter(|&i| s.maybe_contains(LineAddr::new(i)))
+            .count();
+        let rate = fps as f64 / probes as f64;
+        assert!(
+            rate < 0.015,
+            "false-positive rate {rate:.4} far above Bloom bound"
+        );
+    }
+
+    #[test]
+    fn insertions_counter_tracks_inserts_not_membership() {
+        let mut s = ReadSignature::new(64);
+        s.insert(LineAddr::new(1));
+        s.insert(LineAddr::new(1)); // duplicate still counts as an insertion
+        assert_eq!(s.insertions(), 2);
+        s.clear();
+        assert_eq!(s.insertions(), 0);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_under_insertion() {
+        let mut s = ReadSignature::new(128);
+        let mut last = s.occupancy();
+        for i in 0..100u64 {
+            s.insert(LineAddr::new(i * 31));
+            let now = s.occupancy();
+            assert!(now >= last, "occupancy decreased: {now} < {last}");
+            last = now;
+        }
+        assert!(last <= 1.0);
+    }
+
+    #[test]
+    fn hashes_are_independent_enough_to_discriminate() {
+        // Inserting one line must not make every neighbouring line match:
+        // with a 2048-bit filter and a single insertion, at most a handful
+        // of the 64 adjacent addresses may alias.
+        let mut s = ReadSignature::new(2048);
+        s.insert(LineAddr::new(512));
+        let neighbours_matching = (513..577u64)
+            .filter(|&i| s.maybe_contains(LineAddr::new(i)))
+            .count();
+        assert!(
+            neighbours_matching <= 2,
+            "{neighbours_matching} neighbours alias"
+        );
     }
 }

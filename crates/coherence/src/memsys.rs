@@ -252,7 +252,13 @@ impl MemorySystem {
     // Probes.
     // ------------------------------------------------------------------
 
-    fn probe_info(&self, requester: CoreId, holder: CoreId, line: LineAddr, kind: ProbeKind) -> ProbeInfo {
+    fn probe_info(
+        &self,
+        requester: CoreId,
+        holder: CoreId,
+        line: LineAddr,
+        kind: ProbeKind,
+    ) -> ProbeInfo {
         let entry = self.l1s[holder.get()].entry(line);
         ProbeInfo {
             requester,
@@ -260,9 +266,9 @@ impl MemorySystem {
             line,
             kind,
             holder_has_line: entry.is_some(),
-            holder_write_bit: entry.map_or(false, |e| e.write_bit),
-            holder_read_bit: entry.map_or(false, |e| e.read_bit),
-            holder_dirty: entry.map_or(false, |e| e.dirty),
+            holder_write_bit: entry.is_some_and(|e| e.write_bit),
+            holder_read_bit: entry.is_some_and(|e| e.read_bit),
+            holder_dirty: entry.is_some_and(|e| e.dirty),
         }
     }
 
@@ -291,10 +297,8 @@ impl MemorySystem {
     fn handle_llc_eviction(&mut self, now: u64, line: LineAddr, entry: DirectoryEntry) {
         // Back-invalidate any L1 copies (inclusive hierarchy).
         for core in 0..self.l1s.len() {
-            if entry.is_sharer(CoreId::new(core)) {
-                if self.l1s[core].invalidate(line).is_some() {
-                    self.stats.back_invalidations += 1;
-                }
+            if entry.is_sharer(CoreId::new(core)) && self.l1s[core].invalidate(line).is_some() {
+                self.stats.back_invalidations += 1;
             }
         }
         if entry.dirty {
@@ -333,7 +337,11 @@ impl MemorySystem {
         let mut latency = l1_latency + self.latency.llc_hit;
         let (fill_done, llc_missed) = self.ensure_llc_line(now, line);
         let mut done = (now + latency).max(fill_done);
-        let mut hit_level = if llc_missed { HitLevel::Memory } else { HitLevel::Llc };
+        let mut hit_level = if llc_missed {
+            HitLevel::Memory
+        } else {
+            HitLevel::Llc
+        };
         if llc_missed {
             self.stats.llc_misses += 1;
         } else {
@@ -488,7 +496,8 @@ impl MemorySystem {
             HitLevel::Memory
         } else {
             self.stats.llc_hits += 1;
-            if had_shared_copy { HitLevel::Llc } else { HitLevel::Llc }
+            // Upgrades are classified as LLC hits (see `HitLevel::Llc`).
+            HitLevel::Llc
         };
 
         let mut holders_to_abort = Vec::new();
@@ -570,10 +579,18 @@ impl MemorySystem {
         if let Some(own) = self.l1s[core.get()].entry_mut(line) {
             own.state = MesiState::Modified;
         } else {
-            victim = self.l1s[core.get()].insert(line, L1Entry::new(MesiState::Modified, fill_data));
+            victim =
+                self.l1s[core.get()].insert(line, L1Entry::new(MesiState::Modified, fill_data));
         }
 
-        let mut outcome = AccessOutcome::new(done.max(now + latency), if had_shared_copy { HitLevel::Llc } else { hit_level });
+        let mut outcome = AccessOutcome::new(
+            done.max(now + latency),
+            if had_shared_copy {
+                HitLevel::Llc
+            } else {
+                hit_level
+            },
+        );
         outcome.holders_to_abort = holders_to_abort;
         outcome.evicted_victim = victim;
         outcome.reread_own_overflow = reread_own_overflow;

@@ -167,7 +167,10 @@ impl DhtmEngine {
         self.loggers[core.get()].reset();
         let abort_marker = LogRecord::abort(tx);
         let mut at = now + ABORT_OVERHEAD;
-        if self.append_record(machine, core, abort_marker, now).is_none() {
+        if self
+            .append_record(machine, core, abort_marker, now)
+            .is_none()
+        {
             machine.mem.domain_mut().log_mut(thread).purge_tx(tx);
         }
         machine.mem.domain_mut().log_mut(thread).reclaim();
@@ -182,13 +185,18 @@ impl DhtmEngine {
         // Abort-completion phase: invalidate the overflowed lines in the LLC
         // (Figure 4h). This runs in the background; only the next transaction
         // on this core has to wait for it.
-        let overflowed: Vec<LineAddr> = self.states[core.get()].overflowed.iter().copied().collect();
+        let overflowed: Vec<LineAddr> =
+            self.states[core.get()].overflowed.iter().copied().collect();
         let mut completion = at;
         for line in overflowed {
             machine.mem.invalidate_llc_line(line);
             completion += machine.mem.latency().llc_hit;
         }
-        machine.mem.domain_mut().overflow_list_mut(thread).clear_tx(tx);
+        machine
+            .mem
+            .domain_mut()
+            .overflow_list_mut(thread)
+            .clear_tx(tx);
 
         if self.options.instant_writes {
             completion = at;
@@ -229,7 +237,9 @@ impl DhtmEngine {
             }
             // Write the dirty data back to the LLC, leaving the directory
             // state unchanged (sticky) so conflicts keep being forwarded.
-            machine.mem.writeback_to_llc(core, line, entry.data, now, true);
+            machine
+                .mem
+                .writeback_to_llc(core, line, entry.data, now, true);
             // Record the address in the overflow list in persistent memory.
             let tx = self.states[core.get()].tx;
             let thread = ThreadId::from(core);
@@ -251,7 +261,9 @@ impl DhtmEngine {
             // invalidations still reach this core.
             self.states[core.get()].signature.insert(line);
             if entry.dirty {
-                machine.mem.writeback_to_llc(core, line, entry.data, now, true);
+                machine
+                    .mem
+                    .writeback_to_llc(core, line, entry.data, now, true);
             }
             return None;
         }
@@ -284,7 +296,9 @@ impl TxEngine for DhtmEngine {
 
     fn init(&mut self, machine: &mut Machine) {
         let n = machine.num_cores();
-        self.states = (0..n).map(|_| HtmCoreState::new(self.signature_bits)).collect();
+        self.states = (0..n)
+            .map(|_| HtmCoreState::new(self.signature_bits))
+            .collect();
         self.loggers = (0..n)
             .map(|_| RedoLogger::new(self.log_buffer_entries, self.options.word_granular_logging))
             .collect();
@@ -305,11 +319,15 @@ impl TxEngine for DhtmEngine {
         let start = now.max(self.states[core.get()].next_begin_at);
         if self.states[core.get()].aborts_this_tx > self.max_retries {
             if !self.fallback_lock.try_acquire_all(core, &[LockId::GLOBAL]) {
-                return StepOutcome::Stall { retry_at: start + 64 };
+                return StepOutcome::Stall {
+                    retry_at: start + 64,
+                };
             }
             self.in_fallback[core.get()] = true;
         } else if self.fallback_lock.is_held(LockId::GLOBAL) {
-            return StepOutcome::Stall { retry_at: start + 64 };
+            return StepOutcome::Stall {
+                retry_at: start + 64,
+            };
         }
         let tx = machine.tx_ids.allocate();
         self.states[core.get()].begin(tx, start);
@@ -339,9 +357,11 @@ impl TxEngine for DhtmEngine {
             return self.do_abort(machine, core, now, AbortReason::Conflict);
         }
         if out.nacked {
-            return StepOutcome::Stall { retry_at: out.done + 32 };
+            return StepOutcome::Stall {
+                retry_at: out.done + 32,
+            };
         }
-        if let Some((vline, ventry)) = out.evicted_victim.clone() {
+        if let Some((vline, ventry)) = out.evicted_victim {
             if let Some(reason) = self.handle_victim(machine, core, vline, &ventry, now) {
                 return self.do_abort(machine, core, out.done, reason);
             }
@@ -383,9 +403,11 @@ impl TxEngine for DhtmEngine {
             return self.do_abort(machine, core, now, AbortReason::Conflict);
         }
         if out.nacked {
-            return StepOutcome::Stall { retry_at: out.done + 32 };
+            return StepOutcome::Stall {
+                retry_at: out.done + 32,
+            };
         }
-        if let Some((vline, ventry)) = out.evicted_victim.clone() {
+        if let Some((vline, ventry)) = out.evicted_victim {
             if let Some(reason) = self.handle_victim(machine, core, vline, &ventry, now) {
                 return self.do_abort(machine, core, out.done, reason);
             }
@@ -394,7 +416,12 @@ impl TxEngine for DhtmEngine {
 
         if transactional {
             self.emit_sentinels(machine, core, deps, now);
-            machine.mem.l1_mut(core).entry_mut(line).expect("filled").write_bit = true;
+            machine
+                .mem
+                .l1_mut(core)
+                .entry_mut(line)
+                .expect("filled")
+                .write_bit = true;
             self.states[core.get()].record_store(line);
 
             // Hardware redo logging (Section III-A).
@@ -419,7 +446,12 @@ impl TxEngine for DhtmEngine {
             let Some(durable) = self.append_record(machine, core, rec, now) else {
                 return self.do_abort(machine, core, out.done, AbortReason::LogOverflow);
             };
-            machine.mem.l1_mut(core).entry_mut(line).expect("filled").write_bit = true;
+            machine
+                .mem
+                .l1_mut(core)
+                .entry_mut(line)
+                .expect("filled")
+                .write_bit = true;
             self.states[core.get()].record_store(line);
             return StepOutcome::done(durable.max(out.done));
         }
@@ -443,7 +475,10 @@ impl TxEngine for DhtmEngine {
         }
         // (2) Write the commit record. The transaction commits once every log
         //     record, including this one, is durable.
-        if self.append_record(machine, core, LogRecord::commit(tx), now).is_none() {
+        if self
+            .append_record(machine, core, LogRecord::commit(tx), now)
+            .is_none()
+        {
             return self.do_abort(machine, core, now, AbortReason::LogOverflow);
         }
         let log_durable = self.loggers[core.get()].persist_horizon();
@@ -465,18 +500,17 @@ impl TxEngine for DhtmEngine {
         let mut completion = commit_at;
         let resident: Vec<LineAddr> = machine.mem.l1(core).write_set();
         for line in resident {
-            if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, commit_at) {
+            if let Some(done) = machine
+                .mem
+                .l1_writeback_line_to_memory(core, line, commit_at)
+            {
                 completion = completion.max(done);
             }
             if let Some(entry) = machine.mem.l1_mut(core).entry_mut(line) {
                 entry.write_bit = false;
             }
         }
-        let overflowed: Vec<LineAddr> = machine
-            .mem
-            .domain()
-            .overflow_list(thread)
-            .lines_for(tx);
+        let overflowed: Vec<LineAddr> = machine.mem.domain().overflow_list(thread).lines_for(tx);
         for line in overflowed {
             // A line that overflowed and was later re-read is resident in the
             // L1 again; it was already written back (and is still owned by
@@ -489,11 +523,18 @@ impl TxEngine for DhtmEngine {
                 completion = completion.max(done);
             }
         }
-        if self.append_record(machine, core, LogRecord::complete(tx), commit_at).is_none() {
+        if self
+            .append_record(machine, core, LogRecord::complete(tx), commit_at)
+            .is_none()
+        {
             // The complete record is an optimisation, not a correctness
             // requirement (Section III-B); ignore the failure.
         }
-        machine.mem.domain_mut().overflow_list_mut(thread).clear_tx(tx);
+        machine
+            .mem
+            .domain_mut()
+            .overflow_list_mut(thread)
+            .clear_tx(tx);
         machine.mem.domain_mut().log_mut(thread).reclaim();
 
         if self.options.instant_writes {
@@ -620,7 +661,13 @@ mod tests {
         e.begin(&mut m, c(0), &[], 0);
         let set_stride = 16 * 64u64;
         for i in 0..3u64 {
-            let out = e.write(&mut m, c(0), Address::new(0x10000 + i * set_stride), i, 100 + i);
+            let out = e.write(
+                &mut m,
+                c(0),
+                Address::new(0x10000 + i * set_stride),
+                i,
+                100 + i,
+            );
             assert!(out.is_done(), "DHTM must not abort on write-set overflow");
         }
         let st = e.state(c(0));
@@ -642,7 +689,9 @@ mod tests {
         assert!(e.commit(&mut m, c(0), 10_000).is_done());
         for i in 0..3u64 {
             assert_eq!(
-                m.mem.domain().read_word(Address::new(0x10000 + i * set_stride)),
+                m.mem
+                    .domain()
+                    .read_word(Address::new(0x10000 + i * set_stride)),
                 i
             );
         }
@@ -654,7 +703,13 @@ mod tests {
         e.begin(&mut m, c(0), &[], 0);
         let set_stride = 16 * 64u64;
         for i in 0..3u64 {
-            e.write(&mut m, c(0), Address::new(0x10000 + i * set_stride), i, 100 + i);
+            e.write(
+                &mut m,
+                c(0),
+                Address::new(0x10000 + i * set_stride),
+                i,
+                100 + i,
+            );
         }
         let overflowed_line = *e.state(c(0)).overflowed.iter().next().unwrap();
         // Another core writes the overflowed line: under first-writer-wins the
@@ -682,7 +737,13 @@ mod tests {
         }
         e.begin(&mut m, c(0), &[], 0);
         for i in 0..3u64 {
-            e.write(&mut m, c(0), Address::new(base + i * set_stride), i, 100 + i);
+            e.write(
+                &mut m,
+                c(0),
+                Address::new(base + i * set_stride),
+                i,
+                100 + i,
+            );
         }
         let overflowed_line = *e.state(c(0)).overflowed.iter().next().unwrap();
         assert!(m.mem.llc().entry(overflowed_line).unwrap().dirty);
@@ -697,7 +758,9 @@ mod tests {
         RecoveryManager::new().recover(&mut crashed).unwrap();
         for i in 0..3u64 {
             assert_eq!(
-                crashed.memory().read_word(Address::new(base + i * set_stride)),
+                crashed
+                    .memory()
+                    .read_word(Address::new(base + i * set_stride)),
                 1000 + i
             );
         }
@@ -709,7 +772,13 @@ mod tests {
         e.begin(&mut m, c(0), &[], 0);
         let set_stride = 16 * 64u64;
         for i in 0..3u64 {
-            e.write(&mut m, c(0), Address::new(0x10000 + i * set_stride), 50 + i, 100 + i);
+            e.write(
+                &mut m,
+                c(0),
+                Address::new(0x10000 + i * set_stride),
+                50 + i,
+                100 + i,
+            );
         }
         let overflowed_line = *e.state(c(0)).overflowed.iter().next().unwrap();
         // Re-read the overflowed line: the value written earlier must be
@@ -717,7 +786,10 @@ mod tests {
         let out = e.read(&mut m, c(0), overflowed_line.base(), 1000);
         assert!(out.is_done());
         let entry = m.mem.l1(c(0)).entry(overflowed_line).unwrap();
-        assert!(entry.write_bit, "reread overflowed line rejoins the write set");
+        assert!(
+            entry.write_bit,
+            "reread overflowed line rejoins the write set"
+        );
         assert!(e.commit(&mut m, c(0), 5000).is_done());
     }
 
@@ -752,7 +824,13 @@ mod tests {
         let set_stride = 16 * 64u64;
         let mut last = StepOutcome::done(0);
         for i in 0..3u64 {
-            last = e.write(&mut m, c(0), Address::new(0x10000 + i * set_stride), i, 100 + i);
+            last = e.write(
+                &mut m,
+                c(0),
+                Address::new(0x10000 + i * set_stride),
+                i,
+                100 + i,
+            );
         }
         assert!(matches!(
             last,

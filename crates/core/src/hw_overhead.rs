@@ -100,8 +100,10 @@ mod tests {
 
     #[test]
     fn overhead_scales_with_log_buffer_size() {
-        let small = total_overhead_bytes(&SystemConfig::isca18_baseline().with_log_buffer_entries(4));
-        let large = total_overhead_bytes(&SystemConfig::isca18_baseline().with_log_buffer_entries(128));
+        let small =
+            total_overhead_bytes(&SystemConfig::isca18_baseline().with_log_buffer_entries(4));
+        let large =
+            total_overhead_bytes(&SystemConfig::isca18_baseline().with_log_buffer_entries(128));
         assert!(large > small);
     }
 }

@@ -82,7 +82,11 @@ pub struct HtmArbiter<'a> {
 
 impl<'a> HtmArbiter<'a> {
     /// Creates an arbiter over the design's per-core states.
-    pub fn new(states: &'a mut [HtmCoreState], config: ArbiterConfig, requester_active: bool) -> Self {
+    pub fn new(
+        states: &'a mut [HtmCoreState],
+        config: ArbiterConfig,
+        requester_active: bool,
+    ) -> Self {
         HtmArbiter {
             states,
             config,
@@ -127,8 +131,8 @@ impl ConflictArbiter for HtmArbiter<'_> {
         }
 
         // The holder is in an active transaction. Classify the conflict.
-        let in_write_set = holder.in_write_set(probe.line)
-            || (probe.holder_has_line && probe.holder_write_bit);
+        let in_write_set =
+            holder.in_write_set(probe.line) || (probe.holder_has_line && probe.holder_write_bit);
         let in_read_set = probe.holder_read_bit || holder.in_read_set(probe.line);
 
         let write_conflict = in_write_set;
@@ -199,7 +203,11 @@ mod tests {
     #[test]
     fn idle_holder_never_conflicts() {
         let mut s = states(2);
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins), true);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins),
+            true,
+        );
         let d = arb.decide(&probe(1, ProbeKind::FwdGetM, true, true, false));
         assert_eq!(d, ProbeDecision::Proceed);
     }
@@ -209,7 +217,11 @@ mod tests {
         let mut s = states(2);
         s[1].begin(TxId::new(5), 0);
         s[1].record_store(LineAddr::new(42));
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins), true);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins),
+            true,
+        );
         let d = arb.decide(&probe(1, ProbeKind::FwdGetM, true, true, false));
         assert_eq!(d, ProbeDecision::AbortRequester);
         assert!(s[1].doomed.is_none());
@@ -220,7 +232,11 @@ mod tests {
         let mut s = states(2);
         s[1].begin(TxId::new(5), 0);
         s[1].record_store(LineAddr::new(42));
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::rtm_like(ConflictPolicy::RequesterWins), true);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::rtm_like(ConflictPolicy::RequesterWins),
+            true,
+        );
         let d = arb.decide(&probe(1, ProbeKind::FwdGetM, true, true, false));
         assert_eq!(d, ProbeDecision::AbortHolder);
         assert_eq!(arb.holders_doomed(), 1);
@@ -229,7 +245,10 @@ mod tests {
 
     #[test]
     fn read_write_conflict_writer_wins_under_both_policies() {
-        for policy in [ConflictPolicy::FirstWriterWins, ConflictPolicy::RequesterWins] {
+        for policy in [
+            ConflictPolicy::FirstWriterWins,
+            ConflictPolicy::RequesterWins,
+        ] {
             let mut s = states(2);
             s[1].begin(TxId::new(5), 0);
             s[1].record_load(LineAddr::new(42));
@@ -244,7 +263,11 @@ mod tests {
         let mut s = states(2);
         s[1].begin(TxId::new(5), 0);
         s[1].record_load(LineAddr::new(42));
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins), true);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins),
+            true,
+        );
         let d = arb.decide(&probe(1, ProbeKind::FwdGetS, true, false, true));
         assert_eq!(d, ProbeDecision::Proceed);
     }
@@ -257,7 +280,11 @@ mod tests {
         s[1].begin(TxId::new(5), 0);
         s[1].record_store(LineAddr::new(42));
         s[1].overflowed.insert(LineAddr::new(42));
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::dhtm(ConflictPolicy::FirstWriterWins), true);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::dhtm(ConflictPolicy::FirstWriterWins),
+            true,
+        );
         let d = arb.decide(&probe(1, ProbeKind::FwdGetS, false, false, false));
         assert_eq!(d, ProbeDecision::AbortRequester);
     }
@@ -267,7 +294,11 @@ mod tests {
         let mut s = states(2);
         s[1].begin(TxId::new(5), 0);
         s[1].signature.insert(LineAddr::new(42));
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins), true);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins),
+            true,
+        );
         let d = arb.decide(&probe(1, ProbeKind::Invalidate, false, false, false));
         assert_eq!(d, ProbeDecision::AbortHolder);
     }
@@ -277,7 +308,11 @@ mod tests {
         let mut s = states(2);
         s[1].begin(TxId::new(5), 0);
         s[1].record_store(LineAddr::new(42));
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins), false);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins),
+            false,
+        );
         let d = arb.decide(&probe(1, ProbeKind::FwdGetM, true, true, false));
         assert_eq!(d, ProbeDecision::AbortHolder);
     }
@@ -287,7 +322,11 @@ mod tests {
         let mut s = states(2);
         s[1].begin(TxId::new(5), 0);
         s[1].record_store(LineAddr::new(42));
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::logtm(ConflictPolicy::FirstWriterWins), true);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::logtm(ConflictPolicy::FirstWriterWins),
+            true,
+        );
         let d = arb.decide(&probe(1, ProbeKind::FwdGetM, true, true, false));
         assert_eq!(d, ProbeDecision::Nack);
         assert!(s[1].doomed.is_none());
@@ -299,7 +338,11 @@ mod tests {
         s[1].begin(TxId::new(9), 0);
         s[1].record_store(LineAddr::new(42));
         s[1].status = TxStatus::Committed;
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::dhtm(ConflictPolicy::FirstWriterWins), true);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::dhtm(ConflictPolicy::FirstWriterWins),
+            true,
+        );
         let d = arb.decide(&probe(1, ProbeKind::FwdGetM, true, true, false));
         assert_eq!(d, ProbeDecision::Proceed);
         let deps = arb.into_dependencies();
@@ -312,7 +355,11 @@ mod tests {
         s[1].begin(TxId::new(9), 0);
         s[1].record_store(LineAddr::new(42));
         s[1].status = TxStatus::Committed;
-        let mut arb = HtmArbiter::new(&mut s, ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins), true);
+        let mut arb = HtmArbiter::new(
+            &mut s,
+            ArbiterConfig::rtm_like(ConflictPolicy::FirstWriterWins),
+            true,
+        );
         let d = arb.decide(&probe(1, ProbeKind::FwdGetM, true, true, false));
         assert_eq!(d, ProbeDecision::Proceed);
         assert!(arb.into_dependencies().is_empty());

@@ -110,7 +110,9 @@ impl RtmEngine {
             // sharer bit sticky so invalidations still reach this core.
             self.states[core.get()].signature.insert(line);
             if entry.dirty {
-                machine.mem.writeback_to_llc(core, line, entry.data, now, true);
+                machine
+                    .mem
+                    .writeback_to_llc(core, line, entry.data, now, true);
             }
             return None;
         }
@@ -126,7 +128,9 @@ impl TxEngine for RtmEngine {
 
     fn init(&mut self, machine: &mut Machine) {
         let n = machine.num_cores();
-        self.states = (0..n).map(|_| HtmCoreState::new(self.signature_bits)).collect();
+        self.states = (0..n)
+            .map(|_| HtmCoreState::new(self.signature_bits))
+            .collect();
         self.in_fallback = vec![false; n];
         self.fallback_lock = LockTable::new();
         self.fallback_commits = 0;
@@ -143,13 +147,17 @@ impl TxEngine for RtmEngine {
         // Exhausted hardware retries: take the single-global-lock fallback.
         if self.states[core.get()].aborts_this_tx > self.max_retries {
             if !self.fallback_lock.try_acquire_all(core, &[LockId::GLOBAL]) {
-                return StepOutcome::Stall { retry_at: start + 64 };
+                return StepOutcome::Stall {
+                    retry_at: start + 64,
+                };
             }
             self.in_fallback[core.get()] = true;
         } else if self.fallback_lock.is_held(LockId::GLOBAL) {
             // A fallback transaction is running; hardware transactions wait
             // for it (the standard RTM lock-elision subscription).
-            return StepOutcome::Stall { retry_at: start + 64 };
+            return StepOutcome::Stall {
+                retry_at: start + 64,
+            };
         }
         let tx = machine.tx_ids.allocate();
         self.states[core.get()].begin(tx, start);
@@ -177,15 +185,22 @@ impl TxEngine for RtmEngine {
             return self.do_abort(machine, core, now, AbortReason::Conflict);
         }
         if out.nacked {
-            return StepOutcome::Stall { retry_at: out.done + 32 };
+            return StepOutcome::Stall {
+                retry_at: out.done + 32,
+            };
         }
-        if let Some((vline, ventry)) = out.evicted_victim.clone() {
+        if let Some((vline, ventry)) = out.evicted_victim {
             if let Some(reason) = self.handle_victim(machine, core, vline, &ventry, now) {
                 return self.do_abort(machine, core, out.done, reason);
             }
         }
         if transactional {
-            machine.mem.l1_mut(core).entry_mut(line).expect("filled").read_bit = true;
+            machine
+                .mem
+                .l1_mut(core)
+                .entry_mut(line)
+                .expect("filled")
+                .read_bit = true;
             self.states[core.get()].record_load(line);
         }
         StepOutcome::done(out.done)
@@ -213,16 +228,23 @@ impl TxEngine for RtmEngine {
             return self.do_abort(machine, core, now, AbortReason::Conflict);
         }
         if out.nacked {
-            return StepOutcome::Stall { retry_at: out.done + 32 };
+            return StepOutcome::Stall {
+                retry_at: out.done + 32,
+            };
         }
-        if let Some((vline, ventry)) = out.evicted_victim.clone() {
+        if let Some((vline, ventry)) = out.evicted_victim {
             if let Some(reason) = self.handle_victim(machine, core, vline, &ventry, now) {
                 return self.do_abort(machine, core, out.done, reason);
             }
         }
         machine.mem.write_word_in_l1(core, addr, value);
         if transactional {
-            machine.mem.l1_mut(core).entry_mut(line).expect("filled").write_bit = true;
+            machine
+                .mem
+                .l1_mut(core)
+                .entry_mut(line)
+                .expect("filled")
+                .write_bit = true;
             self.states[core.get()].record_store(line);
         }
         StepOutcome::done(out.done)
@@ -333,7 +355,10 @@ mod tests {
         e.begin(&mut m, c(1), &[], 0);
         // Writer wins; reader (core 0) is doomed.
         assert!(e.write(&mut m, c(1), addr, 2, 500).is_done());
-        assert!(matches!(e.commit(&mut m, c(0), 600), StepOutcome::Aborted { .. }));
+        assert!(matches!(
+            e.commit(&mut m, c(0), 600),
+            StepOutcome::Aborted { .. }
+        ));
         assert!(e.commit(&mut m, c(1), 700).is_done());
     }
 
@@ -346,7 +371,13 @@ mod tests {
         let set_stride = 16 * 64; // lines per set * line size
         let mut last = StepOutcome::done(0);
         for i in 0..3u64 {
-            last = e.write(&mut m, c(0), Address::new(0x8000 + i * set_stride as u64), i, 100 + i * 100);
+            last = e.write(
+                &mut m,
+                c(0),
+                Address::new(0x8000 + i * set_stride as u64),
+                i,
+                100 + i * 100,
+            );
         }
         match last {
             StepOutcome::Aborted { reason, .. } => assert_eq!(reason, AbortReason::Capacity),
@@ -360,7 +391,12 @@ mod tests {
         e.begin(&mut m, c(0), &[], 0);
         let set_stride = 16 * 64;
         for i in 0..4u64 {
-            let out = e.read(&mut m, c(0), Address::new(0x8000 + i * set_stride as u64), 100 + i * 100);
+            let out = e.read(
+                &mut m,
+                c(0),
+                Address::new(0x8000 + i * set_stride as u64),
+                100 + i * 100,
+            );
             assert!(out.is_done(), "read-set overflow must not abort");
         }
         assert!(!e.state(c(0)).signature.is_empty());
@@ -379,9 +415,15 @@ mod tests {
         assert!(e.in_fallback[0]);
         // A second core cannot start a fallback transaction concurrently.
         e.states[1].aborts_this_tx = cfg.max_htm_retries + 1;
-        assert!(matches!(e.begin(&mut m, c(1), &[], 0), StepOutcome::Stall { .. }));
+        assert!(matches!(
+            e.begin(&mut m, c(1), &[], 0),
+            StepOutcome::Stall { .. }
+        ));
         // And a hardware transaction waits for the global lock too.
-        assert!(matches!(e.begin(&mut m, c(2), &[], 0), StepOutcome::Stall { .. }));
+        assert!(matches!(
+            e.begin(&mut m, c(2), &[], 0),
+            StepOutcome::Stall { .. }
+        ));
         assert!(e.write(&mut m, c(0), Address::new(0x40), 1, 10).is_done());
         assert!(e.commit(&mut m, c(0), 100).is_done());
         assert_eq!(e.fallback_commits(), 1);

@@ -95,7 +95,11 @@ impl TransactionLog {
 
     /// Returns all records belonging to transaction `tx`, oldest first.
     pub fn records_for(&self, tx: TxId) -> Vec<LogRecord> {
-        self.records.iter().filter(|r| r.tx == tx).copied().collect()
+        self.records
+            .iter()
+            .filter(|r| r.tx == tx)
+            .copied()
+            .collect()
     }
 
     /// Returns the set of transaction ids that appear in the log.
@@ -190,7 +194,8 @@ mod tests {
     fn append_and_query_markers() {
         let mut l = log();
         let tx = TxId::new(1);
-        l.append(LogRecord::redo(tx, LineAddr::new(1), [1; 8])).unwrap();
+        l.append(LogRecord::redo(tx, LineAddr::new(1), [1; 8]))
+            .unwrap();
         assert!(!l.is_committed(tx));
         l.append(LogRecord::commit(tx)).unwrap();
         assert!(l.is_committed(tx));
@@ -204,8 +209,10 @@ mod tests {
     fn overflow_returns_error_with_capacity() {
         let mut l = TransactionLog::new(ThreadId::new(2), 2);
         let tx = TxId::new(9);
-        l.append(LogRecord::redo(tx, LineAddr::new(1), [0; 8])).unwrap();
-        l.append(LogRecord::redo(tx, LineAddr::new(2), [0; 8])).unwrap();
+        l.append(LogRecord::redo(tx, LineAddr::new(1), [0; 8]))
+            .unwrap();
+        l.append(LogRecord::redo(tx, LineAddr::new(2), [0; 8]))
+            .unwrap();
         let err = l.append(LogRecord::commit(tx)).unwrap_err();
         assert_eq!(err, DhtmError::LogOverflow { tx, capacity: 2 });
     }
@@ -216,12 +223,15 @@ mod tests {
         let done = TxId::new(1);
         let aborted = TxId::new(2);
         let pending = TxId::new(3);
-        l.append(LogRecord::redo(done, LineAddr::new(1), [0; 8])).unwrap();
+        l.append(LogRecord::redo(done, LineAddr::new(1), [0; 8]))
+            .unwrap();
         l.append(LogRecord::commit(done)).unwrap();
         l.append(LogRecord::complete(done)).unwrap();
-        l.append(LogRecord::redo(aborted, LineAddr::new(2), [0; 8])).unwrap();
+        l.append(LogRecord::redo(aborted, LineAddr::new(2), [0; 8]))
+            .unwrap();
         l.append(LogRecord::abort(aborted)).unwrap();
-        l.append(LogRecord::redo(pending, LineAddr::new(3), [0; 8])).unwrap();
+        l.append(LogRecord::redo(pending, LineAddr::new(3), [0; 8]))
+            .unwrap();
         l.append(LogRecord::commit(pending)).unwrap();
 
         let reclaimed = l.reclaim();
@@ -236,9 +246,12 @@ mod tests {
         let mut l = log();
         let a = TxId::new(1);
         let b = TxId::new(2);
-        l.append(LogRecord::redo(a, LineAddr::new(1), [1; 8])).unwrap();
-        l.append(LogRecord::redo(b, LineAddr::new(2), [2; 8])).unwrap();
-        l.append(LogRecord::redo(a, LineAddr::new(3), [3; 8])).unwrap();
+        l.append(LogRecord::redo(a, LineAddr::new(1), [1; 8]))
+            .unwrap();
+        l.append(LogRecord::redo(b, LineAddr::new(2), [2; 8]))
+            .unwrap();
+        l.append(LogRecord::redo(a, LineAddr::new(3), [3; 8]))
+            .unwrap();
         assert_eq!(l.records_for(a).len(), 2);
         assert_eq!(l.records_for(b).len(), 1);
         assert_eq!(l.transactions(), vec![a, b]);
@@ -248,7 +261,8 @@ mod tests {
     fn byte_accounting_accumulates() {
         let mut l = log();
         let tx = TxId::new(1);
-        l.append(LogRecord::redo(tx, LineAddr::new(1), [0; 8])).unwrap();
+        l.append(LogRecord::redo(tx, LineAddr::new(1), [0; 8]))
+            .unwrap();
         l.append(LogRecord::commit(tx)).unwrap();
         assert_eq!(l.appended_records(), 2);
         assert_eq!(l.appended_bytes(), 72 + 16);

@@ -233,7 +233,9 @@ mod tests {
         let t0 = ThreadId::new(0);
         let tx = TxId::new(1);
         let line = LineAddr::new(5);
-        d.log_mut(t0).append(LogRecord::redo(tx, line, [7; 8])).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::redo(tx, line, [7; 8]))
+            .unwrap();
         d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
 
         let report = RecoveryManager::new().recover(&mut d).unwrap();
@@ -249,7 +251,9 @@ mod tests {
         let tx = TxId::new(1);
         let line = LineAddr::new(5);
         d.write_line(line, [1; 8]);
-        d.log_mut(t0).append(LogRecord::redo(tx, line, [9; 8])).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::redo(tx, line, [9; 8]))
+            .unwrap();
         // No commit marker: the values must not be applied.
         let report = RecoveryManager::new().recover(&mut d).unwrap();
         assert_eq!(report.replayed_transactions, 0);
@@ -263,7 +267,9 @@ mod tests {
         let t0 = ThreadId::new(0);
         let tx = TxId::new(1);
         let line = LineAddr::new(5);
-        d.log_mut(t0).append(LogRecord::redo(tx, line, [9; 8])).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::redo(tx, line, [9; 8]))
+            .unwrap();
         d.log_mut(t0).append(LogRecord::abort(tx)).unwrap();
         RecoveryManager::new().recover(&mut d).unwrap();
         assert_eq!(d.read_line(line), [0; 8]);
@@ -277,7 +283,9 @@ mod tests {
         let line = LineAddr::new(5);
         // Data already made it in place before the crash.
         d.write_line(line, [3; 8]);
-        d.log_mut(t0).append(LogRecord::redo(tx, line, [3; 8])).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::redo(tx, line, [3; 8]))
+            .unwrap();
         d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
         d.log_mut(t0).append(LogRecord::complete(tx)).unwrap();
         let report = RecoveryManager::new().recover(&mut d).unwrap();
@@ -299,10 +307,14 @@ mod tests {
         let ta = TxId::new(2);
         let line = LineAddr::new(9);
 
-        d.log_mut(t0).append(LogRecord::redo(tb, line, [5; 8])).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::redo(tb, line, [5; 8]))
+            .unwrap();
         d.log_mut(t0).append(LogRecord::commit(tb)).unwrap();
 
-        d.log_mut(t1).append(LogRecord::redo(ta, line, [6; 8])).unwrap();
+        d.log_mut(t1)
+            .append(LogRecord::redo(ta, line, [6; 8]))
+            .unwrap();
         d.log_mut(t1).append(LogRecord::sentinel(ta, tb)).unwrap();
         d.log_mut(t1).append(LogRecord::commit(ta)).unwrap();
 
@@ -322,10 +334,14 @@ mod tests {
         let ta = TxId::new(3); // depends on tb
         let line = LineAddr::new(9);
 
-        d.log_mut(t0).append(LogRecord::redo(tb, line, [5; 8])).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::redo(tb, line, [5; 8]))
+            .unwrap();
         d.log_mut(t0).append(LogRecord::commit(tb)).unwrap();
 
-        d.log_mut(t1).append(LogRecord::redo(ta, line, [6; 8])).unwrap();
+        d.log_mut(t1)
+            .append(LogRecord::redo(ta, line, [6; 8]))
+            .unwrap();
         d.log_mut(t1).append(LogRecord::sentinel(ta, tb)).unwrap();
         d.log_mut(t1).append(LogRecord::commit(ta)).unwrap();
 
@@ -342,7 +358,9 @@ mod tests {
         let tx = TxId::new(1);
         let line = LineAddr::new(4);
         d.write_line(line, [8; 8]); // eager in-place update (new value)
-        d.log_mut(t0).append(LogRecord::undo(tx, line, [2; 8])).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::undo(tx, line, [2; 8]))
+            .unwrap();
 
         let report = RecoveryManager::new().recover(&mut d).unwrap();
         assert_eq!(report.rolled_back_transactions, 1);
@@ -356,7 +374,9 @@ mod tests {
         let tx = TxId::new(1);
         let line = LineAddr::new(4);
         d.write_line(line, [8; 8]);
-        d.log_mut(t0).append(LogRecord::undo(tx, line, [2; 8])).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::undo(tx, line, [2; 8]))
+            .unwrap();
         d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
         RecoveryManager::new().recover(&mut d).unwrap();
         // Committed: the new value stays.
@@ -370,7 +390,9 @@ mod tests {
         let tx = TxId::new(1);
         let line = LineAddr::new(4);
         d.write_line(line, [1; 8]);
-        d.log_mut(t0).append(LogRecord::redo_word(tx, line, 3, 99)).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::redo_word(tx, line, 3, 99))
+            .unwrap();
         d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
         let report = RecoveryManager::new().recover(&mut d).unwrap();
         assert_eq!(report.words_written, 1);
@@ -385,7 +407,9 @@ mod tests {
         let t0 = ThreadId::new(0);
         let tx = TxId::new(1);
         let line = LineAddr::new(5);
-        d.log_mut(t0).append(LogRecord::redo(tx, line, [7; 8])).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::redo(tx, line, [7; 8]))
+            .unwrap();
         d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
         RecoveryManager::new().recover(&mut d).unwrap();
         let after_first = d.read_line(line);

@@ -138,7 +138,11 @@ impl Simulator {
         for tx in workload.setup_transactions() {
             for op in &tx.ops {
                 if let TxOp::Write(addr, value) = op {
-                    machine.mem.domain_mut().memory_mut().write_word(*addr, *value);
+                    machine
+                        .mem
+                        .domain_mut()
+                        .memory_mut()
+                        .write_word(*addr, *value);
                 }
             }
         }
@@ -237,7 +241,11 @@ impl Simulator {
                     }
                     cores[core_idx].time = now + wait;
                 }
-                StepOutcome::Aborted { at, retry_at, reason } => {
+                StepOutcome::Aborted {
+                    at,
+                    retry_at,
+                    reason,
+                } => {
                     stats.record_abort(reason);
                     cores[core_idx].aborted_attempts += 1;
                     let attempts = cores[core_idx].attempts;
@@ -261,8 +269,7 @@ impl Simulator {
         stats.log_bytes_written = mem_stats.log_bytes - mem_stats_before.log_bytes;
         stats.data_bytes_written =
             mem_stats.data_writeback_bytes - mem_stats_before.data_writeback_bytes;
-        stats.log_records_written =
-            machine.mem.domain().total_log_records() - log_records_before;
+        stats.log_records_written = machine.mem.domain().total_log_records() - log_records_before;
         stats.commit_stall_cycles = cores.iter().map(|c| c.stall_cycles).sum();
         stats.fallback_commits = engine.fallback_commits();
 
@@ -320,7 +327,7 @@ mod tests {
             now: u64,
         ) -> StepOutcome {
             let out = machine.mem.load(core, addr.line(), now, &mut NoConflicts);
-            if let Some((line, entry)) = out.evicted_victim.clone() {
+            if let Some((line, entry)) = out.evicted_victim {
                 machine.mem.evict_nontransactional(core, line, &entry, now);
             }
             StepOutcome::done(out.done)
@@ -334,7 +341,7 @@ mod tests {
             now: u64,
         ) -> StepOutcome {
             let out = machine.mem.store(core, addr.line(), now, &mut NoConflicts);
-            if let Some((line, entry)) = out.evicted_victim.clone() {
+            if let Some((line, entry)) = out.evicted_victim {
                 machine.mem.evict_nontransactional(core, line, &entry, now);
             }
             machine.mem.write_word_in_l1(core, addr, value);

@@ -63,8 +63,13 @@ pub trait TxEngine {
     /// Begins a transaction on `core` at cycle `now`. `lock_set` is the set
     /// of locks the transaction would acquire under lock-based concurrency
     /// control; HTM-based designs ignore it (except on their fallback path).
-    fn begin(&mut self, machine: &mut Machine, core: CoreId, lock_set: &[LockId], now: u64)
-        -> StepOutcome;
+    fn begin(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        lock_set: &[LockId],
+        now: u64,
+    ) -> StepOutcome;
 
     /// Performs a transactional load of `addr`.
     fn read(&mut self, machine: &mut Machine, core: CoreId, addr: Address, now: u64)

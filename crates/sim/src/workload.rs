@@ -142,9 +142,9 @@ mod tests {
         let tx = Transaction::new(
             vec![
                 TxOp::Read(Address::new(0)),
-                TxOp::Write(Address::new(8), 1),   // line 0 again
-                TxOp::Write(Address::new(64), 2),  // line 1
-                TxOp::Write(Address::new(72), 3),  // line 1 again
+                TxOp::Write(Address::new(8), 1),  // line 0 again
+                TxOp::Write(Address::new(64), 2), // line 1
+                TxOp::Write(Address::new(72), 3), // line 1 again
                 TxOp::Compute(5),
             ],
             vec![LockId(1)],

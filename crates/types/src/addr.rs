@@ -59,12 +59,12 @@ impl Address {
 
     /// Returns `true` if the address is aligned to a word boundary.
     pub const fn is_word_aligned(self) -> bool {
-        self.0 % WORD_SIZE as u64 == 0
+        self.0.is_multiple_of(WORD_SIZE as u64)
     }
 
     /// Returns `true` if the address is aligned to a cache-line boundary.
     pub const fn is_line_aligned(self) -> bool {
-        self.0 % LINE_SIZE as u64 == 0
+        self.0.is_multiple_of(LINE_SIZE as u64)
     }
 }
 

@@ -62,10 +62,16 @@ impl fmt::Display for DhtmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DhtmError::LogOverflow { tx, capacity } => {
-                write!(f, "transaction log overflow for {tx} (capacity {capacity} records)")
+                write!(
+                    f,
+                    "transaction log overflow for {tx} (capacity {capacity} records)"
+                )
             }
             DhtmError::OverflowListFull { tx, capacity } => {
-                write!(f, "overflow list full for {tx} (capacity {capacity} entries)")
+                write!(
+                    f,
+                    "overflow list full for {tx} (capacity {capacity} entries)"
+                )
             }
             DhtmError::NoActiveTransaction { core } => {
                 write!(f, "no active transaction on {core}")
@@ -105,10 +111,20 @@ mod tests {
     #[test]
     fn all_variants_display_nonempty() {
         let variants = vec![
-            DhtmError::LogOverflow { tx: TxId::new(1), capacity: 1 },
-            DhtmError::OverflowListFull { tx: TxId::new(1), capacity: 1 },
-            DhtmError::NoActiveTransaction { core: CoreId::new(0) },
-            DhtmError::PreviousTransactionIncomplete { core: CoreId::new(0) },
+            DhtmError::LogOverflow {
+                tx: TxId::new(1),
+                capacity: 1,
+            },
+            DhtmError::OverflowListFull {
+                tx: TxId::new(1),
+                capacity: 1,
+            },
+            DhtmError::NoActiveTransaction {
+                core: CoreId::new(0),
+            },
+            DhtmError::PreviousTransactionIncomplete {
+                core: CoreId::new(0),
+            },
             DhtmError::UnmappedAddress { raw: 0xdead },
             DhtmError::InvalidConfig("bad".into()),
             DhtmError::CorruptLog("truncated".into()),

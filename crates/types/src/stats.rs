@@ -215,11 +215,19 @@ impl fmt::Display for RunStats {
         writeln!(f, "aborts:             {}", self.total_aborts())?;
         writeln!(f, "abort rate:         {:.1}%", self.abort_rate_percent())?;
         writeln!(f, "cycles:             {}", self.total_cycles)?;
-        writeln!(f, "throughput:         {:.3} tx/Mcycle", self.throughput_per_mcycle())?;
+        writeln!(
+            f,
+            "throughput:         {:.3} tx/Mcycle",
+            self.throughput_per_mcycle()
+        )?;
         writeln!(f, "log records:        {}", self.log_records_written)?;
         writeln!(f, "log bytes:          {}", self.log_bytes_written)?;
         writeln!(f, "data wb bytes:      {}", self.data_bytes_written)?;
-        writeln!(f, "mean write set:     {:.1} lines", self.mean_write_set_lines())?;
+        writeln!(
+            f,
+            "mean write set:     {:.1} lines",
+            self.mean_write_set_lines()
+        )?;
         write!(f, "L1 hit rate:        {:.1}%", 100.0 * self.l1_hit_rate())
     }
 }

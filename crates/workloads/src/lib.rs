@@ -29,8 +29,7 @@ pub mod trace;
 
 pub use heap::SimHeap;
 pub use micro::{
-    BTreeWorkload, HashWorkload, MicroKind, QueueWorkload, RbTreeWorkload, SdgWorkload,
-    SpsWorkload,
+    BTreeWorkload, HashWorkload, MicroKind, QueueWorkload, RbTreeWorkload, SdgWorkload, SpsWorkload,
 };
 pub use oltp::{TatpWorkload, TpccWorkload};
 pub use trace::TraceBuilder;
@@ -72,7 +71,10 @@ mod tests {
     fn suite_has_six_benchmarks_with_paper_names() {
         let suite = micro_suite(1);
         let names: Vec<_> = suite.iter().map(|w| w.name()).collect();
-        assert_eq!(names, vec!["queue", "hash", "sdg", "sps", "btree", "rbtree"]);
+        assert_eq!(
+            names,
+            vec!["queue", "hash", "sdg", "sps", "btree", "rbtree"]
+        );
     }
 
     #[test]

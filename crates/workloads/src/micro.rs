@@ -154,7 +154,12 @@ impl Workload for QueueWorkload {
         let tail = self.tail;
         self.tail = self.tail.wrapping_add(1);
         t.read(self.meta.offset(64)); // tail counter line
-        write_payload(&mut t, self.slot_addr(tail), self.entry_lines, self.rng.gen());
+        write_payload(
+            &mut t,
+            self.slot_addr(tail),
+            self.entry_lines,
+            self.rng.gen(),
+        );
         t.write(self.meta.offset(64), self.tail);
         // Dequeue.
         let head = self.head;
@@ -904,7 +909,11 @@ mod tests {
             let tx = w.next_transaction(CoreId::new(0));
             assert!(!tx.locks.is_empty(), "{} must declare locks", w.name());
             assert!(!tx.ops.is_empty());
-            assert!(tx.locks.len() <= 4, "{} uses coarse partition locks", w.name());
+            assert!(
+                tx.locks.len() <= 4,
+                "{} uses coarse partition locks",
+                w.name()
+            );
         }
     }
 
@@ -960,7 +969,7 @@ mod tests {
         let mut w = SpsWorkload::new(3);
         let tx = w.next_transaction(CoreId::new(0));
         let lines = tx.write_set_lines().len();
-        assert!(lines <= 2 * 31 && lines >= 31);
+        assert!((31..=2 * 31).contains(&lines));
     }
 
     #[test]

@@ -232,7 +232,8 @@ impl TpccWorkload {
     }
 
     fn district_addr(&self, w: u64, d: u64) -> Address {
-        self.district_table.offset((w * DISTRICTS + d) * LINE_SIZE as u64)
+        self.district_table
+            .offset((w * DISTRICTS + d) * LINE_SIZE as u64)
     }
 
     fn stock_addr(&self, w: u64, item: u64) -> Address {
@@ -249,13 +250,13 @@ impl TpccWorkload {
     }
 
     fn order_addr(&self, id: u64) -> Address {
-        self.order_table.offset((id % self.order_capacity) * LINE_SIZE as u64)
+        self.order_table
+            .offset((id % self.order_capacity) * LINE_SIZE as u64)
     }
 
     fn order_line_addr(&self, id: u64, item_idx: u64) -> Address {
-        self.order_line_table.offset(
-            ((id % self.order_capacity) * ITEMS_PER_ORDER + item_idx) * LINE_SIZE as u64,
-        )
+        self.order_line_table
+            .offset(((id % self.order_capacity) * ITEMS_PER_ORDER + item_idx) * LINE_SIZE as u64)
     }
 
     fn district_lock(w: u64, d: u64) -> LockId {
@@ -296,7 +297,11 @@ impl TpccWorkload {
             t.lock(Self::stock_lock(supply_w, item));
             let stock_slot = (supply_w * self.items + item) as usize;
             let old_qty = self.stock_quantity[stock_slot];
-            let qty = if old_qty > 10 { old_qty - 1 } else { old_qty + 91 };
+            let qty = if old_qty > 10 {
+                old_qty - 1
+            } else {
+                old_qty + 91
+            };
             self.stock_quantity[stock_slot] = qty;
             t.read_span(self.stock_addr(supply_w, item), STOCK_ROW_LINES);
             t.write_span(self.stock_addr(supply_w, item), 2, qty);
@@ -373,8 +378,14 @@ mod tests {
         // Table IV: TPC-C write set = 590 lines (> 512-line / 32 KB L1).
         let mut w = TpccWorkload::new(11);
         let lines = w.next_transaction(CoreId::new(0)).write_set_lines().len();
-        assert!(lines > 512, "TPC-C write set must exceed the L1 ({lines} lines)");
-        assert!(lines < 900, "TPC-C write set unexpectedly large ({lines} lines)");
+        assert!(
+            lines > 512,
+            "TPC-C write set must exceed the L1 ({lines} lines)"
+        );
+        assert!(
+            lines < 900,
+            "TPC-C write set unexpectedly large ({lines} lines)"
+        );
     }
 
     #[test]

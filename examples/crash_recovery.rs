@@ -26,9 +26,11 @@ fn main() {
     engine.write(&mut machine, core, account_a, 60, 10);
     engine.write(&mut machine, core, account_b, 40, 20);
     engine.commit(&mut machine, core, 1_000);
-    println!("after commit:  A = {}, B = {}",
+    println!(
+        "after commit:  A = {}, B = {}",
         machine.mem.domain().read_word(account_a),
-        machine.mem.domain().read_word(account_b));
+        machine.mem.domain().read_word(account_b)
+    );
 
     // --- Transaction 2: starts a transfer but crashes before commit. ----
     engine.begin(&mut machine, core, &[], 10_000);

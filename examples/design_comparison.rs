@@ -14,7 +14,9 @@ use dhtm_types::policy::DesignKind;
 use dhtm_workloads::micro_by_name;
 
 fn main() {
-    let workload_name = std::env::args().nth(1).unwrap_or_else(|| "hash".to_string());
+    let workload_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hash".to_string());
     let cfg = SystemConfig::isca18_baseline();
     let limits = RunLimits::quick().with_target_commits(150);
 
@@ -36,7 +38,10 @@ fn main() {
         .expect("SO present");
 
     println!("workload: {workload_name} (throughput normalised to SO)");
-    println!("{:<12} {:>10} {:>12} {:>12}", "design", "norm", "aborts (%)", "log bytes");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12}",
+        "design", "norm", "aborts (%)", "log bytes"
+    );
     for (design, result) in &rows {
         println!(
             "{:<12} {:>10.2} {:>12.1} {:>12}",

@@ -25,7 +25,9 @@ fn run(commit: bool) {
     // Write three lines that map to the same L1 set (the small_test L1 is
     // 2-way), forcing one of them to overflow to the LLC.
     let stride = 16 * 64u64;
-    let addrs: Vec<Address> = (0..3).map(|i| Address::new(0x40_000 + i * stride)).collect();
+    let addrs: Vec<Address> = (0..3)
+        .map(|i| Address::new(0x40_000 + i * stride))
+        .collect();
     for (i, a) in addrs.iter().enumerate() {
         engine.write(&mut machine, core, *a, 100 + i as u64, 10 * (i as u64 + 1));
     }
@@ -34,7 +36,11 @@ fn run(commit: bool) {
     println!("write set:      {} lines", state.write_set.len());
     println!("overflowed:     {} line(s)", state.overflowed.len());
     let overflowed = *state.overflowed.iter().next().expect("one line overflowed");
-    let dir = machine.mem.llc().entry(overflowed).expect("resident in LLC");
+    let dir = machine
+        .mem
+        .llc()
+        .entry(overflowed)
+        .expect("resident in LLC");
     println!(
         "LLC entry:      state {} sharers {} dirty {} (sticky: still owned by {core})",
         dir.state,
@@ -43,7 +49,11 @@ fn run(commit: bool) {
     );
     println!(
         "overflow list:  {:?}",
-        machine.mem.domain().overflow_list(thread).lines_for(state.tx)
+        machine
+            .mem
+            .domain()
+            .overflow_list(thread)
+            .lines_for(state.tx)
     );
     println!(
         "log records so far: {}",

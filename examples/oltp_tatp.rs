@@ -25,8 +25,14 @@ fn main() {
         results.push((design, res));
     }
     let so = results[0].1.throughput();
-    println!("TATP, {} committed transactions per design", limits.target_commits);
-    println!("{:<8} {:>12} {:>14} {:>16}", "design", "norm vs SO", "abort rate %", "mean write set");
+    println!(
+        "TATP, {} committed transactions per design",
+        limits.target_commits
+    );
+    println!(
+        "{:<8} {:>12} {:>14} {:>16}",
+        "design", "norm vs SO", "abort rate %", "mean write set"
+    );
     for (design, res) in &results {
         println!(
             "{:<8} {:>12.2} {:>14.1} {:>16.1}",

@@ -9,7 +9,11 @@ use dhtm_types::config::SystemConfig;
 use dhtm_types::policy::DesignKind;
 use dhtm_workloads::micro_by_name;
 
-fn run(design: DesignKind, workload: &str, commits: u64) -> (dhtm_sim::driver::SimulationResult, Machine) {
+fn run(
+    design: DesignKind,
+    workload: &str,
+    commits: u64,
+) -> (dhtm_sim::driver::SimulationResult, Machine) {
     let cfg = SystemConfig::small_test();
     let mut machine = Machine::new(cfg.clone());
     let mut engine = build_engine(design, &cfg);

@@ -39,7 +39,10 @@ fn check_atomic_durability(plan: &[PlannedTx], crash_after: usize) {
         for &slot in &tx.slots {
             now += 50;
             let out = engine.write(&mut machine, core, slot_address(slot), tx.value, now);
-            assert!(matches!(out, StepOutcome::Done { .. }), "single-core writes never conflict");
+            assert!(
+                matches!(out, StepOutcome::Done { .. }),
+                "single-core writes never conflict"
+            );
         }
         now += 10_000;
         let out = engine.commit(&mut machine, core, now);
@@ -78,7 +81,11 @@ fn check_atomic_durability(plan: &[PlannedTx], crash_after: usize) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Fixed case count AND fixed RNG seed: a failure on one machine is the
+    // same failure everywhere. Failing case seeds persist in
+    // `proptest-regressions/crash_recovery_property.txt` and are replayed
+    // before fresh cases.
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0xD47A_15CA_2018_0001))]
 
     #[test]
     fn committed_transactions_survive_crashes_uncommitted_ones_vanish(

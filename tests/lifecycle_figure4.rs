@@ -39,7 +39,11 @@ fn commit_path_writes_everything_in_place_and_cleans_up() {
     // line; nothing is in place yet.
     assert_eq!(engine.state(core).overflowed.len(), 1);
     let overflowed = *engine.state(core).overflowed.iter().next().unwrap();
-    assert!(machine.mem.domain().overflow_list(thread).contains(tx, overflowed));
+    assert!(machine
+        .mem
+        .domain()
+        .overflow_list(thread)
+        .contains(tx, overflowed));
     for a in &addrs {
         assert_eq!(machine.mem.domain().read_word(*a), 0);
     }
@@ -54,7 +58,12 @@ fn commit_path_writes_everything_in_place_and_cleans_up() {
     for (i, a) in addrs.iter().enumerate() {
         assert_eq!(machine.mem.domain().read_word(*a), 100 + i as u64);
     }
-    assert!(machine.mem.domain().overflow_list(thread).lines_for(tx).is_empty());
+    assert!(machine
+        .mem
+        .domain()
+        .overflow_list(thread)
+        .lines_for(tx)
+        .is_empty());
     assert!(machine.mem.domain().log(thread).is_empty());
     // And the next transaction on the same core can begin.
     assert!(engine.begin(&mut machine, core, &[], 50_000).is_done());
@@ -83,7 +92,9 @@ fn abort_path_discards_speculative_state_everywhere() {
 
     // A rival write dooms the transaction (requester wins).
     engine.begin(&mut machine, rival, &[], 5_000);
-    assert!(engine.write(&mut machine, rival, addrs[0], 999, 5_100).is_done());
+    assert!(engine
+        .write(&mut machine, rival, addrs[0], 999, 5_100)
+        .is_done());
     let out = engine.read(&mut machine, core, Address::new(0x90_000), 6_000);
     assert!(matches!(out, dhtm_sim::engine::StepOutcome::Aborted { .. }));
 
@@ -95,7 +106,10 @@ fn abort_path_discards_speculative_state_everywhere() {
     assert!(machine.mem.domain().overflow_list(thread).is_empty());
     for i in 0..3u64 {
         assert_eq!(
-            machine.mem.domain().read_word(Address::new(0x40_000 + i * 16 * 64)),
+            machine
+                .mem
+                .domain()
+                .read_word(Address::new(0x40_000 + i * 16 * 64)),
             7_000 + i
         );
     }
@@ -104,7 +118,9 @@ fn abort_path_discards_speculative_state_everywhere() {
     RecoveryManager::new().recover(&mut crashed).unwrap();
     for i in 0..3u64 {
         assert_eq!(
-            crashed.memory().read_word(Address::new(0x40_000 + i * 16 * 64)),
+            crashed
+                .memory()
+                .read_word(Address::new(0x40_000 + i * 16 * 64)),
             7_000 + i
         );
     }

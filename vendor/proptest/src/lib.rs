@@ -1,0 +1,94 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API used by this
+//! workspace. The build container has no access to a crates registry, so
+//! this crate is vendored in-tree.
+//!
+//! What it keeps from real proptest:
+//!
+//! * the `proptest! { #![proptest_config(..)] #[test] fn f(x in strat) {..} }`
+//!   macro surface, so test files read identically;
+//! * strategies for integer ranges, tuples, `prop_map` and
+//!   `collection::vec`;
+//! * failure persistence: failing case seeds are replayed from
+//!   `proptest-regressions/<file>.txt` (lines of `cc <16-hex-digit-seed>`)
+//!   before fresh cases run, and a failing fresh case prints the exact `cc`
+//!   line to commit.
+//!
+//! What it drops: shrinking. A failing case reports its seed instead of a
+//! minimised input; determinism is guaranteed by the fixed `rng_seed` in
+//! [`test_runner::ProptestConfig`], which this stand-in makes mandatory
+//! (real proptest seeds from OS entropy by default).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Strategy for a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// `proptest::prelude` — everything a test file needs.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a proptest case (stand-in: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a proptest case (stand-in: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a proptest case (stand-in: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property-based tests. See the crate docs for the supported
+/// grammar; each `#[test] fn name(binding in strategy, ..) { body }` becomes
+/// an ordinary `#[test]` that replays persisted regression seeds and then
+/// runs `cases` fresh random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr);
+        $(#[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(
+                    &cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    file!(),
+                    |__proptest_rng| {
+                        $(let $arg = $crate::strategy::Strategy::new_value(
+                            &($strat), __proptest_rng);)+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}

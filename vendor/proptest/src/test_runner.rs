@@ -1,0 +1,158 @@
+//! The case runner: configuration, per-case seeding, regression-file replay.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block, mirroring the fields of real
+/// proptest's `ProptestConfig` that this workspace uses, plus a mandatory
+/// fixed `rng_seed` so runs reproduce across machines.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of fresh random cases to run per test.
+    pub cases: u32,
+    /// Base seed for case generation. Fixed by default; every case `i` of a
+    /// test derives its own seed from `(rng_seed, test name, i)`.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            rng_seed: 0xD47A_D47A_2018_15CA,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns the default configuration with `cases` fresh cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// Returns this configuration with the base RNG seed replaced.
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// `proptest-regressions/<stem>.txt` for the test file at `source_file`.
+fn regression_path(source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    PathBuf::from("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+/// Parses persisted case seeds: lines of the form `cc <16 hex digits>`.
+/// Comments (`#`) and blank lines are ignored.
+fn parse_seeds(text: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let hex = line.trim().strip_prefix("cc ")?;
+            u64::from_str_radix(hex.trim(), 16).ok()
+        })
+        .collect()
+}
+
+fn load_persisted_seeds(source_file: &str) -> Vec<u64> {
+    match std::fs::read_to_string(regression_path(source_file)) {
+        Ok(text) => parse_seeds(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Runs one `proptest!`-declared test: first every persisted regression
+/// seed, then `cfg.cases` fresh cases. On failure, reports the seed and the
+/// `cc` line to commit to the regression file.
+pub fn run_cases<F: Fn(&mut StdRng)>(
+    cfg: &ProptestConfig,
+    test_name: &str,
+    source_file: &str,
+    case: F,
+) {
+    let persisted = load_persisted_seeds(source_file);
+    let fresh_base = splitmix64(cfg.rng_seed ^ fnv1a(test_name));
+    let fresh = (0..cfg.cases as u64).map(|i| splitmix64(fresh_base.wrapping_add(i)));
+
+    for (origin, seed) in persisted
+        .iter()
+        .map(|&s| ("persisted", s))
+        .chain(fresh.map(|s| ("fresh", s)))
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(|s| s.as_str())
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "proptest case failed ({origin} seed {seed:#018x}) in {test_name}: {msg}\n\
+                 To pin this case, add the line `cc {seed:016x}` to {}",
+                regression_path(source_file).display(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_per_test_name() {
+        let a = splitmix64(7 ^ fnv1a("mod::t1"));
+        let b = splitmix64(7 ^ fnv1a("mod::t1"));
+        let c = splitmix64(7 ^ fnv1a("mod::t2"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn regression_lines_parse() {
+        let seeds =
+            parse_seeds("# comment\n\ncc 00000000000000ff\ncc 0000000000000001\nbogus line\n");
+        assert_eq!(seeds, vec![0xff, 1]);
+        assert_eq!(
+            regression_path("tests/crash_recovery_property.rs"),
+            PathBuf::from("proptest-regressions/crash_recovery_property.txt"),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_case_reports_seed() {
+        run_cases(
+            &ProptestConfig::with_cases(1),
+            "stub::always_fails",
+            "tests/nonexistent.rs",
+            |_rng| panic!("boom"),
+        );
+    }
+}

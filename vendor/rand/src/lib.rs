@@ -1,0 +1,223 @@
+//! Offline stand-in for the subset of the [`rand`](https://crates.io/crates/rand)
+//! 0.8 API used by this workspace. The build container has no access to a
+//! crates registry, so this crate is vendored in-tree.
+//!
+//! The generator behind [`rngs::StdRng`] is **xoshiro256++** seeded through
+//! SplitMix64 — a well-studied, high-quality, deterministic PRNG. It is *not*
+//! the cryptographic ChaCha generator the real `rand` uses for `StdRng`;
+//! nothing in this workspace needs cryptographic randomness, only seedable
+//! deterministic streams for workload generation.
+//!
+//! Implemented surface: `RngCore`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` extension methods `gen`, `gen_range` (over half-open integer
+//! ranges), `gen_ratio` and `gen_bool`.
+
+/// Low-level source of randomness: 32/64-bit outputs.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's raw output.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Half-open ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Debiased multiply-shift (Lemire); span == 0 means the full
+                // 2^64 range of u64, where the raw output is already uniform.
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let r = rng.next_u64();
+                    let m = (r as u128) * (span as u128);
+                    if (m as u64) >= threshold {
+                        return self.start.wrapping_add((m >> 64) as u64 as $t);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if end < <$t>::MAX {
+                    (start..end + 1).sample_single(rng)
+                } else if start > <$t>::MIN {
+                    (start - 1..end).sample_single(rng).wrapping_add(1)
+                } else {
+                    <$t as Standard>::sample(rng)
+                }
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniformly random value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from a half-open or inclusive integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        self.gen_range(0..denominator) < numerator
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_within_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit in 1000 draws");
+        for _ in 0..100 {
+            let v = rng.gen_range(5u64..6);
+            assert_eq!(v, 5);
+        }
+    }
+
+    #[test]
+    fn gen_ratio_roughly_matches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 10)).count();
+        assert!((700..1300).contains(&hits), "got {hits} hits for p=0.1");
+    }
+
+    #[test]
+    fn full_u64_range_does_not_loop_forever() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.gen_range(0u64..u64::MAX);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+}
