@@ -1,60 +1,9 @@
 //! Section VI-D ablation: DHTM with instantaneous critical-path writes
 //! (paper: ~16% faster than stock DHTM on the micro-benchmarks), plus the
 //! NP upper bound (paper: NP is ~59% faster than DHTM).
-
-use dhtm::{DhtmEngine, DhtmOptions};
-use dhtm_bench::workload_by_name;
-use dhtm_bench::{
-    default_commits_for, geometric_mean, print_row, run_pair, EXPERIMENT_SEED, MICRO_NAMES,
-};
-use dhtm_sim::driver::{RunLimits, Simulator};
-use dhtm_sim::machine::Machine;
-use dhtm_types::config::SystemConfig;
-use dhtm_types::policy::DesignKind;
-
-fn run_dhtm_variant(options: DhtmOptions, workload: &str, cfg: &SystemConfig) -> f64 {
-    let mut machine = Machine::new(cfg.clone());
-    let mut engine = DhtmEngine::with_options(cfg, options);
-    let mut wl = workload_by_name(workload, EXPERIMENT_SEED);
-    let limits = RunLimits::evaluation().with_target_commits(default_commits_for(workload));
-    let res = Simulator::new().run(&mut machine, &mut engine, wl.as_mut(), &limits);
-    res.throughput()
-}
+//! Runs the `ablation` harness experiment; accepts `--jobs N`,
+//! `--format table|json|csv`, `--out PATH`.
 
 fn main() {
-    let cfg = dhtm_bench::experiment_config();
-    println!("# Section VI-D: instant-write ablation and the NP upper bound (normalised to SO)");
-    println!("# Paper reference: DHTM+instant ~1.16x DHTM; NP ~1.59x DHTM");
-    print_row(
-        "workload",
-        &["DHTM".into(), "DHTM-instant".into(), "NP".into()],
-    );
-    let mut ratios_instant = Vec::new();
-    let mut ratios_np = Vec::new();
-    for wl in MICRO_NAMES {
-        let commits = default_commits_for(wl);
-        let so = run_pair(DesignKind::SoftwareOnly, wl, &cfg, commits).throughput();
-        let dhtm = run_dhtm_variant(DhtmOptions::paper_default(), wl, &cfg);
-        let instant = run_dhtm_variant(DhtmOptions::instant_writes(), wl, &cfg);
-        let np = run_pair(DesignKind::NonPersistent, wl, &cfg, commits).throughput();
-        ratios_instant.push(instant / dhtm);
-        ratios_np.push(np / dhtm);
-        print_row(
-            wl,
-            &[
-                format!("{:.2}", dhtm / so),
-                format!("{:.2}", instant / so),
-                format!("{:.2}", np / so),
-            ],
-        );
-    }
-    println!();
-    println!(
-        "instant-writes speedup over DHTM (geo-mean): {:.2}x   (paper: ~1.16x)",
-        geometric_mean(&ratios_instant)
-    );
-    println!(
-        "NP speedup over DHTM (geo-mean):             {:.2}x   (paper: ~1.59x)",
-        geometric_mean(&ratios_np)
-    );
+    dhtm_harness::experiments::run_cli("ablation");
 }

@@ -1,40 +1,7 @@
 //! Figure 5: transaction throughput of sdTM, ATOM, LogTM-ATOM and DHTM on the
-//! six micro-benchmarks, normalised to SO.
-
-use dhtm_bench::{geometric_mean, normalised_throughput, print_row, run_designs, MICRO_NAMES};
-use dhtm_types::policy::DesignKind;
+//! six micro-benchmarks, normalised to SO. Runs the `fig5` harness
+//! experiment; accepts `--jobs N`, `--format table|json|csv`, `--out PATH`.
 
 fn main() {
-    let cfg = dhtm_bench::experiment_config();
-    let designs = [
-        DesignKind::SoftwareOnly,
-        DesignKind::SdTm,
-        DesignKind::Atom,
-        DesignKind::LogTmAtom,
-        DesignKind::Dhtm,
-    ];
-    println!("# Figure 5: throughput normalised to SO (8 cores, Table III config)");
-    println!("# Paper reference (averages): sdTM 1.20x, ATOM 1.35x, LogTM-ATOM ~1.44x, DHTM 1.61x");
-    let header: Vec<String> = designs
-        .iter()
-        .skip(1)
-        .map(|d| d.label().to_string())
-        .collect();
-    print_row("workload", &header);
-    let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len() - 1];
-    for wl in MICRO_NAMES {
-        let results = run_designs(&designs, wl, &cfg);
-        let mut row = Vec::new();
-        for (i, d) in designs.iter().skip(1).enumerate() {
-            let norm = normalised_throughput(&results, *d);
-            per_design[i].push(norm);
-            row.push(format!("{norm:.2}"));
-        }
-        print_row(wl, &row);
-    }
-    let avg_row: Vec<String> = per_design
-        .iter()
-        .map(|v| format!("{:.2}", geometric_mean(v)))
-        .collect();
-    print_row("Ave.", &avg_row);
+    dhtm_harness::experiments::run_cli("fig5");
 }

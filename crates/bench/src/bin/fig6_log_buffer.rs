@@ -1,31 +1,7 @@
 //! Figure 6: DHTM throughput sensitivity to the log-buffer size (hash).
-
-use dhtm_bench::{default_commits_for, print_row, run_pair};
-use dhtm_types::policy::DesignKind;
+//! Runs the `fig6` harness experiment; accepts `--jobs N`,
+//! `--format table|json|csv`, `--out PATH`.
 
 fn main() {
-    println!("# Figure 6: normalised throughput vs log-buffer size (hash benchmark)");
-    println!("# Paper reference: rises with size, saturates at 64 entries, dips slightly at 128");
-    let commits = default_commits_for("hash");
-    let baseline = run_pair(
-        DesignKind::Dhtm,
-        "hash",
-        &dhtm_bench::experiment_config().with_log_buffer_entries(64),
-        commits,
-    )
-    .throughput();
-    print_row(
-        "entries",
-        &["4", "8", "16", "32", "64", "128"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>(),
-    );
-    let mut row = Vec::new();
-    for entries in [4usize, 8, 16, 32, 64, 128] {
-        let cfg = dhtm_bench::experiment_config().with_log_buffer_entries(entries);
-        let res = run_pair(DesignKind::Dhtm, "hash", &cfg, commits);
-        row.push(format!("{:.3}", res.throughput() / baseline));
-    }
-    print_row("DHTM", &row);
+    dhtm_harness::experiments::run_cli("fig6");
 }

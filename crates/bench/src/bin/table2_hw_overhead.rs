@@ -1,22 +1,7 @@
 //! Table II: the hardware state DHTM adds on top of an RTM-like HTM.
-
-use dhtm::hw_overhead::{hardware_overhead, total_overhead_bytes};
-use dhtm_types::config::SystemConfig;
+//! Pure register-size arithmetic (no simulation); routed through the
+//! `table2` harness experiment for the shared CLI.
 
 fn main() {
-    // Pure register-size arithmetic, no simulation: always report the
-    // paper's Table III machine regardless of quick mode.
-    let cfg = SystemConfig::isca18_baseline();
-    println!(
-        "# Table II: DHTM hardware overhead (per core, {}-entry log buffer)",
-        cfg.log_buffer_entries
-    );
-    println!("| {:<28} | {:<42} | bits |", "register", "description");
-    for reg in hardware_overhead(&cfg) {
-        println!(
-            "| {:<28} | {:<42} | {} |",
-            reg.name, reg.description, reg.bits
-        );
-    }
-    println!("total: {} bytes per core", total_overhead_bytes(&cfg));
+    dhtm_harness::experiments::run_cli("table2");
 }

@@ -1,31 +1,8 @@
 //! Table IV: workload write-set sizes (cache lines), measured as the mean
 //! write-set footprint of committed DHTM transactions.
-
-use dhtm_bench::{default_commits_for, print_row, run_pair};
-use dhtm_types::policy::DesignKind;
+//! Runs the `table4` harness experiment; accepts `--jobs N`,
+//! `--format table|json|csv`, `--out PATH`.
 
 fn main() {
-    let cfg = dhtm_bench::experiment_config();
-    println!("# Table IV: mean write-set size per transaction (cache lines)");
-    let paper = [
-        ("tpcc", 590.0),
-        ("tatp", 167.0),
-        ("queue", 52.0),
-        ("hash", 58.0),
-        ("sdg", 56.0),
-        ("sps", 63.0),
-        ("btree", 61.0),
-        ("rbtree", 53.0),
-    ];
-    print_row("workload", &["measured".into(), "paper".into()]);
-    for (wl, reference) in paper {
-        let res = run_pair(DesignKind::Dhtm, wl, &cfg, default_commits_for(wl).min(64));
-        print_row(
-            wl,
-            &[
-                format!("{:.0}", res.stats.mean_write_set_lines()),
-                format!("{reference:.0}"),
-            ],
-        );
-    }
+    dhtm_harness::experiments::run_cli("table4");
 }

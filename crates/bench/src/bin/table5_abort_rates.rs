@@ -1,30 +1,7 @@
 //! Table V: abort rates (%) of sdTM and DHTM on the micro-benchmarks.
-
-use dhtm_bench::{default_commits_for, print_row, run_pair, MICRO_NAMES};
-use dhtm_types::policy::DesignKind;
+//! Runs the `table5` harness experiment; accepts `--jobs N`,
+//! `--format table|json|csv`, `--out PATH`.
 
 fn main() {
-    let cfg = dhtm_bench::experiment_config();
-    println!("# Table V: abort rates (%)");
-    println!("# Paper reference: sdTM avg 37%, DHTM avg 21%");
-    print_row(
-        "design",
-        &MICRO_NAMES
-            .iter()
-            .map(|s| s.to_string())
-            .chain(["Ave.".into()])
-            .collect::<Vec<_>>(),
-    );
-    for design in [DesignKind::SdTm, DesignKind::Dhtm] {
-        let mut row = Vec::new();
-        let mut sum = 0.0;
-        for wl in MICRO_NAMES {
-            let res = run_pair(design, wl, &cfg, default_commits_for(wl));
-            let rate = res.stats.abort_rate_percent();
-            sum += rate;
-            row.push(format!("{rate:.0}"));
-        }
-        row.push(format!("{:.0}", sum / MICRO_NAMES.len() as f64));
-        print_row(design.label(), &row);
-    }
+    dhtm_harness::experiments::run_cli("table5");
 }

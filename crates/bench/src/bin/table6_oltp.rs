@@ -1,21 +1,7 @@
 //! Table VI: TATP and TPC-C throughput of ATOM and DHTM normalised to SO.
-
-use dhtm_bench::{normalised_throughput, print_row, run_designs};
-use dhtm_types::policy::DesignKind;
+//! Runs the `table6` harness experiment; accepts `--jobs N`,
+//! `--format table|json|csv`, `--out PATH`.
 
 fn main() {
-    let cfg = dhtm_bench::experiment_config();
-    println!("# Table VI: OLTP throughput normalised to SO");
-    println!("# Paper reference: TPC-C  SO 1.00 / ATOM 1.67 / DHTM 1.88");
-    println!("#                  TATP   SO 1.00 / ATOM 1.27 / DHTM 1.53");
-    let designs = [DesignKind::SoftwareOnly, DesignKind::Atom, DesignKind::Dhtm];
-    print_row("workload", &["SO".into(), "ATOM".into(), "DHTM".into()]);
-    for wl in ["tpcc", "tatp"] {
-        let results = run_designs(&designs, wl, &cfg);
-        let row: Vec<String> = designs
-            .iter()
-            .map(|&d| format!("{:.2}", normalised_throughput(&results, d)))
-            .collect();
-        print_row(wl, &row);
-    }
+    dhtm_harness::experiments::run_cli("table6");
 }

@@ -1,31 +1,8 @@
 //! Table VII: NP and DHTM throughput normalised to SO for the hash benchmark
 //! under 1x, 2x and 10x the baseline memory bandwidth (5.3 GB/s).
-
-use dhtm_bench::{normalised_throughput, print_row, run_designs};
-use dhtm_types::policy::DesignKind;
+//! Runs the `table7` harness experiment; accepts `--jobs N`,
+//! `--format table|json|csv`, `--out PATH`.
 
 fn main() {
-    println!("# Table VII: hash throughput normalised to SO under bandwidth scaling");
-    println!("# Paper reference: NP 2.9 / 3.0 / 3.3   DHTM 1.9 / 2.4 / 3.0  (1x / 2x / 10x)");
-    let designs = [
-        DesignKind::SoftwareOnly,
-        DesignKind::NonPersistent,
-        DesignKind::Dhtm,
-    ];
-    print_row("design", &["1x".into(), "2x".into(), "10x".into()]);
-    let mut rows: Vec<Vec<String>> = vec![Vec::new(), Vec::new()];
-    for mult in [1.0, 2.0, 10.0] {
-        let cfg = dhtm_bench::experiment_config().with_bandwidth_multiplier(mult);
-        let results = run_designs(&designs, "hash", &cfg);
-        rows[0].push(format!(
-            "{:.2}",
-            normalised_throughput(&results, DesignKind::NonPersistent)
-        ));
-        rows[1].push(format!(
-            "{:.2}",
-            normalised_throughput(&results, DesignKind::Dhtm)
-        ));
-    }
-    print_row("NP", &rows[0]);
-    print_row("DHTM", &rows[1]);
+    dhtm_harness::experiments::run_cli("table7");
 }

@@ -1,194 +1,51 @@
 //! # dhtm-bench
 //!
-//! The experiment harness that regenerates every table and figure of the
-//! paper's evaluation (Section VI). Each experiment is a small binary under
-//! `src/bin/` that prints the same rows/series the paper reports, normalised
-//! to the SO baseline exactly as the paper does:
+//! The figure/table reproduction entry points for the paper's evaluation
+//! (Section VI). Each experiment is a thin binary under `src/bin/` that
+//! runs its [`dhtm_harness`] experiment definition — the declarative
+//! matrix, worker-pool sharding and JSON/CSV export all live there — and
+//! prints the same rows/series the paper reports, normalised to the SO
+//! baseline exactly as the paper does:
 //!
-//! | Binary | Reproduces |
-//! |---|---|
-//! | `fig5_throughput` | Figure 5 — micro-benchmark throughput of sdTM/ATOM/LogTM-ATOM/DHTM normalised to SO |
-//! | `table5_abort_rates` | Table V — abort rates of sdTM and DHTM |
-//! | `fig6_log_buffer` | Figure 6 — sensitivity to the log-buffer size (hash) |
-//! | `table6_oltp` | Table VI — TATP and TPC-C throughput of ATOM and DHTM normalised to SO |
-//! | `table7_bandwidth` | Table VII — NP and DHTM vs SO under 1×/2×/10× memory bandwidth (hash) |
-//! | `ablation_instant_writes` | §VI-D — idealised instant-write DHTM |
-//! | `table4_write_sets` | Table IV — workload write-set sizes |
-//! | `table2_hw_overhead` | Table II — hardware overhead |
+//! | Binary | Harness experiment | Reproduces |
+//! |---|---|---|
+//! | `fig5_throughput` | `fig5` | Figure 5 — micro-benchmark throughput of sdTM/ATOM/LogTM-ATOM/DHTM normalised to SO |
+//! | `table5_abort_rates` | `table5` | Table V — abort rates of sdTM and DHTM |
+//! | `fig6_log_buffer` | `fig6` | Figure 6 — sensitivity to the log-buffer size (hash) |
+//! | `table6_oltp` | `table6` | Table VI — TATP and TPC-C throughput of ATOM and DHTM normalised to SO |
+//! | `table7_bandwidth` | `table7` | Table VII — NP and DHTM vs SO under 1×/2×/10× memory bandwidth (hash) |
+//! | `ablation_instant_writes` | `ablation` | §VI-D — idealised instant-write DHTM |
+//! | `table4_write_sets` | `table4` | Table IV — workload write-set sizes |
+//! | `table2_hw_overhead` | `table2` | Table II — hardware overhead |
 //!
-//! Shared plumbing lives in this library crate: building engines and
-//! workloads by name, running one (design, workload) pair, and formatting
-//! normalised results.
+//! Every binary accepts the shared harness CLI (`--jobs N`,
+//! `--format table|json|csv`, `--out PATH`); the `dhtm_experiments` binary
+//! in `dhtm_harness` runs the whole suite at once. This crate re-exports
+//! the harness's shared plumbing so existing callers (criterion benches,
+//! integration tests) keep their import paths.
 
 #![warn(missing_docs)]
 
-use dhtm_baselines::build_engine;
-use dhtm_sim::driver::{RunLimits, SimulationResult, Simulator};
-use dhtm_sim::machine::Machine;
-use dhtm_sim::workload::Workload;
-use dhtm_types::config::SystemConfig;
-use dhtm_types::policy::DesignKind;
-use dhtm_workloads::{micro_by_name, TatpWorkload, TpccWorkload};
-
-/// Seed used by all experiments (results are deterministic given the seed).
-pub const EXPERIMENT_SEED: u64 = 0x15CA_2018;
-
-/// True when the `DHTM_BENCH_QUICK` environment variable is set (to anything
-/// but `0`): experiments then run on [`SystemConfig::small_test`] with
-/// sharply reduced commit targets so that every figure/table binary finishes
-/// in seconds. The bin smoke tests use this; real reproductions must leave
-/// it unset.
-pub fn quick_mode() -> bool {
-    std::env::var_os("DHTM_BENCH_QUICK").is_some_and(|v| v != "0")
-}
-
-/// The machine configuration every experiment binary should simulate: the
-/// paper's Table III machine, or the small test machine in
-/// [`quick_mode`].
-pub fn experiment_config() -> SystemConfig {
-    if quick_mode() {
-        SystemConfig::small_test()
-    } else {
-        SystemConfig::isca18_baseline()
-    }
-}
-
-/// The six micro-benchmark names in the paper's order.
-pub const MICRO_NAMES: [&str; 6] = ["queue", "hash", "sdg", "sps", "btree", "rbtree"];
-
-/// Builds a workload by name ("queue".."rbtree", "tatp", "tpcc").
-///
-/// # Panics
-///
-/// Panics if the name is unknown.
-pub fn workload_by_name(name: &str, seed: u64) -> Box<dyn Workload> {
-    match name {
-        "tatp" => Box::new(TatpWorkload::new(seed)),
-        "tpcc" => Box::new(TpccWorkload::new(seed)),
-        other => micro_by_name(other, seed).unwrap_or_else(|| panic!("unknown workload {other}")),
-    }
-}
-
-/// Commit targets appropriate for each workload class (OLTP transactions are
-/// an order of magnitude larger than the micro-benchmark batches). In
-/// [`quick_mode`] the targets shrink ~20x so the smoke tests stay fast.
-pub fn default_commits_for(workload: &str) -> u64 {
-    let base: u64 = match workload {
-        "tpcc" => 64,
-        "tatp" => 160,
-        _ => 400,
-    };
-    if quick_mode() {
-        (base / 20).max(3)
-    } else {
-        base
-    }
-}
-
-/// Runs one (design, workload) pair on a fresh machine and returns the
-/// simulation result.
-pub fn run_pair(
-    design: DesignKind,
-    workload_name: &str,
-    cfg: &SystemConfig,
-    commits: u64,
-) -> SimulationResult {
-    let mut machine = Machine::new(cfg.clone());
-    let mut engine = build_engine(design, cfg);
-    let mut workload = workload_by_name(workload_name, EXPERIMENT_SEED);
-    let limits = RunLimits::evaluation().with_target_commits(commits);
-    Simulator::new().run(&mut machine, engine.as_mut(), workload.as_mut(), &limits)
-}
-
-/// Runs `designs` on `workload_name` and returns `(design, result)` pairs.
-pub fn run_designs(
-    designs: &[DesignKind],
-    workload_name: &str,
-    cfg: &SystemConfig,
-) -> Vec<(DesignKind, SimulationResult)> {
-    let commits = default_commits_for(workload_name);
-    designs
-        .iter()
-        .map(|&d| (d, run_pair(d, workload_name, cfg, commits)))
-        .collect()
-}
-
-/// Throughput of `design` normalised to the SO result in the same set.
-pub fn normalised_throughput(
-    results: &[(DesignKind, SimulationResult)],
-    design: DesignKind,
-) -> f64 {
-    let so = results
-        .iter()
-        .find(|(d, _)| *d == DesignKind::SoftwareOnly)
-        .map(|(_, r)| r.throughput())
-        .unwrap_or(1.0);
-    let target = results
-        .iter()
-        .find(|(d, _)| *d == design)
-        .map(|(_, r)| r.throughput())
-        .unwrap_or(0.0);
-    if so > 0.0 {
-        target / so
-    } else {
-        0.0
-    }
-}
-
-/// Prints a markdown-style table row.
-pub fn print_row(label: &str, values: &[String]) {
-    println!("| {:<12} | {} |", label, values.join(" | "));
-}
-
-/// Geometric mean helper used for "Ave." columns.
-pub fn geometric_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
-    (log_sum / values.len() as f64).exp()
-}
+pub use dhtm_harness::report::{geometric_mean, print_row};
+pub use dhtm_harness::{
+    default_commits_for, experiment_config, normalised_throughput, quick_mode, run_designs,
+    run_pair, workload_by_name, ALL_WORKLOADS, EXPERIMENT_SEED, MICRO_NAMES,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dhtm_types::config::SystemConfig;
+    use dhtm_types::policy::DesignKind;
 
     #[test]
-    fn workloads_resolve_by_name() {
+    fn reexported_helpers_are_wired_to_the_harness() {
         for name in MICRO_NAMES.iter().chain(["tatp", "tpcc"].iter()) {
             assert_eq!(workload_by_name(name, 1).name(), *name);
         }
-    }
-
-    #[test]
-    fn geometric_mean_basics() {
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
-        assert_eq!(geometric_mean(&[]), 0.0);
-    }
-
-    #[test]
-    fn quick_pair_run_produces_commits() {
         let cfg = SystemConfig::small_test();
-        let res = run_pair(DesignKind::Dhtm, "hash", &cfg, 20);
-        assert_eq!(res.stats.committed, 20);
-        assert!(res.throughput() > 0.0);
-    }
-
-    #[test]
-    fn normalisation_is_relative_to_so() {
-        let cfg = SystemConfig::small_test();
-        let results = vec![
-            (
-                DesignKind::SoftwareOnly,
-                run_pair(DesignKind::SoftwareOnly, "hash", &cfg, 10),
-            ),
-            (
-                DesignKind::Dhtm,
-                run_pair(DesignKind::Dhtm, "hash", &cfg, 10),
-            ),
-        ];
-        let so_norm = normalised_throughput(&results, DesignKind::SoftwareOnly);
-        assert!((so_norm - 1.0).abs() < 1e-9);
-        assert!(normalised_throughput(&results, DesignKind::Dhtm) > 0.0);
+        let res = run_pair(DesignKind::Dhtm, "hash", &cfg, 10);
+        assert_eq!(res.stats.committed, 10);
     }
 }

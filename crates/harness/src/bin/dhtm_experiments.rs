@@ -1,0 +1,38 @@
+//! The experiment-suite runner: run any figure/table of the paper — or all
+//! of them — through the matrix harness from one CLI.
+//!
+//! ```text
+//! dhtm_experiments [--experiment NAME|all] [--jobs N] [--format table|json|csv] [--out PATH]
+//! ```
+//!
+//! With `--experiment all` (the default) the full 8-experiment paper suite
+//! plus the scaling sweep runs; `--format json --out results.json` dumps
+//! every simulation row for archival (the CI quick-mode artifact).
+
+use dhtm_harness::cli::HarnessOpts;
+use dhtm_harness::experiments::{by_name, ExperimentResult, ALL};
+
+fn main() {
+    let opts = HarnessOpts::parse_env();
+    let which = opts.experiment.as_deref().unwrap_or("all");
+    let results: Vec<ExperimentResult> = match which {
+        "all" => ALL
+            .iter()
+            .map(|e| {
+                eprintln!("running {} — {}", e.name, e.title);
+                e.run(&opts)
+            })
+            .collect(),
+        name => {
+            let Some(experiment) = by_name(name) else {
+                eprintln!("unknown experiment '{name}'; available:");
+                for e in ALL {
+                    eprintln!("  {:<10} {}", e.name, e.title);
+                }
+                std::process::exit(2);
+            };
+            vec![experiment.run(&opts)]
+        }
+    };
+    dhtm_harness::experiments::emit(&opts, &results);
+}

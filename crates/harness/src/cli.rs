@@ -1,0 +1,143 @@
+//! Shared CLI for every experiment binary: `--jobs`, `--format`, `--out`
+//! and (for the suite runner) `--experiment`.
+
+use std::path::PathBuf;
+
+use crate::report::OutputFormat;
+use crate::runner::default_jobs;
+
+/// Parsed harness options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOpts {
+    /// Worker-pool size for sharding matrix cells (default: available
+    /// parallelism).
+    pub jobs: usize,
+    /// Machine-readable output format emitted *in addition to* the rendered
+    /// tables.
+    pub format: OutputFormat,
+    /// Where to write JSON/CSV output (stdout when absent).
+    pub out: Option<PathBuf>,
+    /// Which experiment to run (suite binary only; `all` runs everything).
+    pub experiment: Option<String>,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            jobs: default_jobs(),
+            format: OutputFormat::Table,
+            out: None,
+            experiment: None,
+        }
+    }
+}
+
+/// The usage string shared by all experiment binaries.
+pub const USAGE: &str = "options:
+  --jobs N             worker threads for sharding matrix cells (default: #cpus)
+  --format FMT         table (default) | json | csv; json/csv adds a machine-readable dump
+  --out PATH           write the json/csv dump to PATH instead of stdout
+  --experiment NAME    (suite runner only) experiment to run, or 'all'
+  --help               print this help";
+
+impl HarnessOpts {
+    /// Parses options from an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending argument.
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut opts = HarnessOpts::default();
+        let mut args = args.into_iter().map(Into::into);
+        while let Some(arg) = args.next() {
+            let mut value_for = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--jobs" | "-j" => {
+                    let v = value_for("--jobs")?;
+                    opts.jobs = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--jobs needs a positive integer, got '{v}'"))?;
+                }
+                "--format" | "-f" => {
+                    opts.format = value_for("--format")?.parse()?;
+                }
+                "--out" | "-o" => {
+                    opts.out = Some(PathBuf::from(value_for("--out")?));
+                }
+                "--experiment" | "-e" => {
+                    opts.experiment = Some(value_for("--experiment")?);
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process arguments, printing usage and exiting on error.
+    pub fn parse_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(if msg == USAGE { 0 } else { 2 });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let opts = HarnessOpts::parse(Vec::<String>::new()).unwrap();
+        assert!(opts.jobs >= 1);
+        assert_eq!(opts.format, OutputFormat::Table);
+        assert_eq!(opts.out, None);
+        assert_eq!(opts.experiment, None);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let opts = HarnessOpts::parse([
+            "--jobs",
+            "4",
+            "--format",
+            "json",
+            "--out",
+            "/tmp/results.json",
+            "--experiment",
+            "fig5",
+        ])
+        .unwrap();
+        assert_eq!(opts.jobs, 4);
+        assert_eq!(opts.format, OutputFormat::Json);
+        assert_eq!(opts.out, Some(PathBuf::from("/tmp/results.json")));
+        assert_eq!(opts.experiment.as_deref(), Some("fig5"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(HarnessOpts::parse(["--jobs", "0"]).is_err());
+        assert!(HarnessOpts::parse(["--jobs", "abc"]).is_err());
+        assert!(HarnessOpts::parse(["--format", "yaml"]).is_err());
+        assert!(HarnessOpts::parse(["--out"]).is_err());
+        assert!(HarnessOpts::parse(["--wat"]).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        assert_eq!(HarnessOpts::parse(["--help"]).unwrap_err(), USAGE);
+    }
+}

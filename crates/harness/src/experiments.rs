@@ -1,0 +1,652 @@
+//! The catalogue of experiments: every figure/table of the paper's
+//! evaluation (Section VI) plus a beyond-the-paper scaling sweep, each
+//! defined as a declarative [`Matrix`] and a table renderer over the
+//! collected rows. The per-binary design×workload loops that used to live
+//! in `crates/bench/src/bin/*` all collapsed into this module.
+
+use std::io::Write as _;
+
+use dhtm::hw_overhead::{hardware_overhead, total_overhead_bytes};
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+
+use crate::cli::HarnessOpts;
+use crate::matrix::{CommitSpec, ConfigVariant, EngineSpec, Matrix};
+use crate::report::{
+    geometric_mean, row_line, rows_to_csv, rows_to_json, so_normalised, OutputFormat,
+};
+use crate::runner::{run_matrix, Row};
+use crate::{experiment_config, quick_mode, MICRO_NAMES};
+
+/// The rendered outcome of one experiment: human-readable table lines plus
+/// the raw rows for JSON/CSV export.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The experiment's registry name.
+    pub name: &'static str,
+    /// Rendered table lines (printed to stdout by the binaries).
+    pub lines: Vec<String>,
+    /// The collected simulation rows (empty for pure-arithmetic tables).
+    pub rows: Vec<Row>,
+}
+
+/// One registered experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Registry name ("fig5", "table5", ..., "scaling").
+    pub name: &'static str,
+    /// One-line description shown by the suite runner.
+    pub title: &'static str,
+    run: fn(&HarnessOpts) -> ExperimentResult,
+}
+
+impl Experiment {
+    /// Runs the experiment with the given options.
+    pub fn run(&self, opts: &HarnessOpts) -> ExperimentResult {
+        (self.run)(opts)
+    }
+}
+
+/// All experiments, in the order the paper presents them; `scaling` extends
+/// the evaluation beyond the paper's points.
+pub const ALL: &[Experiment] = &[
+    Experiment {
+        name: "fig5",
+        title: "Figure 5: micro-benchmark throughput normalised to SO",
+        run: fig5,
+    },
+    Experiment {
+        name: "table5",
+        title: "Table V: abort rates of sdTM and DHTM",
+        run: table5,
+    },
+    Experiment {
+        name: "fig6",
+        title: "Figure 6: sensitivity to the log-buffer size (hash)",
+        run: fig6,
+    },
+    Experiment {
+        name: "table6",
+        title: "Table VI: TATP and TPC-C throughput normalised to SO",
+        run: table6,
+    },
+    Experiment {
+        name: "table7",
+        title: "Table VII: NP and DHTM vs SO under bandwidth scaling (hash)",
+        run: table7,
+    },
+    Experiment {
+        name: "ablation",
+        title: "Section VI-D: instant-write ablation and the NP upper bound",
+        run: ablation,
+    },
+    Experiment {
+        name: "table4",
+        title: "Table IV: workload write-set sizes",
+        run: table4,
+    },
+    Experiment {
+        name: "table2",
+        title: "Table II: hardware overhead",
+        run: table2,
+    },
+    Experiment {
+        name: "scaling",
+        title: "Beyond the paper: core-count scaling on small/default/large machines",
+        run: scaling,
+    },
+];
+
+/// Looks up an experiment by registry name.
+pub fn by_name(name: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.name == name)
+}
+
+/// Runs `matrix` with the CLI's worker count and tags the rows with the
+/// experiment name.
+fn run_tagged(name: &'static str, matrix: &Matrix, opts: &HarnessOpts) -> Vec<Row> {
+    let mut rows = run_matrix(matrix, opts.jobs);
+    for row in &mut rows {
+        row.experiment = name.to_string();
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+fn fig5(opts: &HarnessOpts) -> ExperimentResult {
+    let designs = [
+        DesignKind::SoftwareOnly,
+        DesignKind::SdTm,
+        DesignKind::Atom,
+        DesignKind::LogTmAtom,
+        DesignKind::Dhtm,
+    ];
+    let variant = ConfigVariant::default_machine();
+    let cores = variant.config.num_cores;
+    let matrix = Matrix::new()
+        .engines(designs)
+        .workloads(MICRO_NAMES)
+        .config(variant);
+    let rows = run_tagged("fig5", &matrix, opts);
+
+    let machine = if quick_mode() {
+        "small test config"
+    } else {
+        "Table III config"
+    };
+    let mut lines = vec![
+        format!("# Figure 5: throughput normalised to SO ({cores} cores, {machine})"),
+        "# Paper reference (averages): sdTM 1.20x, ATOM 1.35x, LogTM-ATOM ~1.44x, DHTM 1.61x"
+            .to_string(),
+    ];
+    let header: Vec<String> = designs
+        .iter()
+        .skip(1)
+        .map(|d| d.label().to_string())
+        .collect();
+    lines.push(row_line("workload", &header));
+    let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len() - 1];
+    for wl in MICRO_NAMES {
+        let mut values = Vec::new();
+        for (i, d) in designs.iter().skip(1).enumerate() {
+            let norm = so_normalised(&rows, d.label(), wl, "default", cores);
+            per_design[i].push(norm);
+            values.push(format!("{norm:.2}"));
+        }
+        lines.push(row_line(wl, &values));
+    }
+    let avg: Vec<String> = per_design
+        .iter()
+        .map(|v| format!("{:.2}", geometric_mean(v)))
+        .collect();
+    lines.push(row_line("Ave.", &avg));
+    ExperimentResult {
+        name: "fig5",
+        lines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table V
+// ---------------------------------------------------------------------------
+
+fn table5(opts: &HarnessOpts) -> ExperimentResult {
+    let matrix = Matrix::new()
+        .engines([DesignKind::SdTm, DesignKind::Dhtm])
+        .workloads(MICRO_NAMES)
+        .config(ConfigVariant::default_machine());
+    let rows = run_tagged("table5", &matrix, opts);
+
+    let mut lines = vec![
+        "# Table V: abort rates (%)".to_string(),
+        "# Paper reference: sdTM avg 37%, DHTM avg 21%".to_string(),
+    ];
+    lines.push(row_line(
+        "design",
+        &MICRO_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .chain(["Ave.".into()])
+            .collect::<Vec<_>>(),
+    ));
+    for design in [DesignKind::SdTm, DesignKind::Dhtm] {
+        let mut values = Vec::new();
+        let mut sum = 0.0;
+        for wl in MICRO_NAMES {
+            let rate = rows
+                .iter()
+                .find(|r| r.engine == design.label() && r.workload == wl)
+                .map(|r| r.stats.abort_rate_percent())
+                .unwrap_or(0.0);
+            sum += rate;
+            values.push(format!("{rate:.0}"));
+        }
+        values.push(format!("{:.0}", sum / MICRO_NAMES.len() as f64));
+        lines.push(row_line(design.label(), &values));
+    }
+    ExperimentResult {
+        name: "table5",
+        lines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+const FIG6_ENTRIES: [usize; 6] = [4, 8, 16, 32, 64, 128];
+
+fn fig6(opts: &HarnessOpts) -> ExperimentResult {
+    let configs: Vec<ConfigVariant> = FIG6_ENTRIES
+        .iter()
+        .map(|&entries| {
+            ConfigVariant::new(
+                format!("logbuf{entries}"),
+                experiment_config().with_log_buffer_entries(entries),
+            )
+        })
+        .collect();
+    let matrix = Matrix::new()
+        .engines([DesignKind::Dhtm])
+        .workloads(["hash"])
+        .configs(configs);
+    let rows = run_tagged("fig6", &matrix, opts);
+
+    let baseline = rows
+        .iter()
+        .find(|r| r.config == "logbuf64")
+        .map(Row::throughput)
+        .filter(|&t| t > 0.0)
+        .unwrap_or(1.0);
+    let mut lines = vec![
+        "# Figure 6: normalised throughput vs log-buffer size (hash benchmark)".to_string(),
+        "# Paper reference: rises with size, saturates at 64 entries, dips slightly at 128"
+            .to_string(),
+    ];
+    lines.push(row_line(
+        "entries",
+        &FIG6_ENTRIES
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>(),
+    ));
+    let values: Vec<String> = FIG6_ENTRIES
+        .iter()
+        .map(|&entries| {
+            let tp = rows
+                .iter()
+                .find(|r| r.config == format!("logbuf{entries}"))
+                .map(Row::throughput)
+                .unwrap_or(0.0);
+            format!("{:.3}", tp / baseline)
+        })
+        .collect();
+    lines.push(row_line("DHTM", &values));
+    ExperimentResult {
+        name: "fig6",
+        lines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table VI
+// ---------------------------------------------------------------------------
+
+fn table6(opts: &HarnessOpts) -> ExperimentResult {
+    let designs = [DesignKind::SoftwareOnly, DesignKind::Atom, DesignKind::Dhtm];
+    let variant = ConfigVariant::default_machine();
+    let cores = variant.config.num_cores;
+    let matrix = Matrix::new()
+        .engines(designs)
+        .workloads(["tpcc", "tatp"])
+        .config(variant);
+    let rows = run_tagged("table6", &matrix, opts);
+
+    let mut lines = vec![
+        "# Table VI: OLTP throughput normalised to SO".to_string(),
+        "# Paper reference: TPC-C  SO 1.00 / ATOM 1.67 / DHTM 1.88".to_string(),
+        "#                  TATP   SO 1.00 / ATOM 1.27 / DHTM 1.53".to_string(),
+    ];
+    lines.push(row_line(
+        "workload",
+        &["SO".into(), "ATOM".into(), "DHTM".into()],
+    ));
+    for wl in ["tpcc", "tatp"] {
+        let values: Vec<String> = designs
+            .iter()
+            .map(|d| {
+                format!(
+                    "{:.2}",
+                    so_normalised(&rows, d.label(), wl, "default", cores)
+                )
+            })
+            .collect();
+        lines.push(row_line(wl, &values));
+    }
+    ExperimentResult {
+        name: "table6",
+        lines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table VII
+// ---------------------------------------------------------------------------
+
+const TABLE7_MULTS: [(f64, &str); 3] = [(1.0, "bw1x"), (2.0, "bw2x"), (10.0, "bw10x")];
+
+fn table7(opts: &HarnessOpts) -> ExperimentResult {
+    let configs: Vec<ConfigVariant> = TABLE7_MULTS
+        .iter()
+        .map(|&(mult, name)| {
+            ConfigVariant::new(name, experiment_config().with_bandwidth_multiplier(mult))
+        })
+        .collect();
+    let cores = experiment_config().num_cores;
+    let matrix = Matrix::new()
+        .engines([
+            DesignKind::SoftwareOnly,
+            DesignKind::NonPersistent,
+            DesignKind::Dhtm,
+        ])
+        .workloads(["hash"])
+        .configs(configs);
+    let rows = run_tagged("table7", &matrix, opts);
+
+    let mut lines = vec![
+        "# Table VII: hash throughput normalised to SO under bandwidth scaling".to_string(),
+        "# Paper reference: NP 2.9 / 3.0 / 3.3   DHTM 1.9 / 2.4 / 3.0  (1x / 2x / 10x)".to_string(),
+    ];
+    lines.push(row_line(
+        "design",
+        &["1x".into(), "2x".into(), "10x".into()],
+    ));
+    for design in [DesignKind::NonPersistent, DesignKind::Dhtm] {
+        let values: Vec<String> = TABLE7_MULTS
+            .iter()
+            .map(|&(_, name)| {
+                format!(
+                    "{:.2}",
+                    so_normalised(&rows, design.label(), "hash", name, cores)
+                )
+            })
+            .collect();
+        lines.push(row_line(design.label(), &values));
+    }
+    ExperimentResult {
+        name: "table7",
+        lines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section VI-D ablation
+// ---------------------------------------------------------------------------
+
+fn ablation(opts: &HarnessOpts) -> ExperimentResult {
+    let variant = ConfigVariant::default_machine();
+    let matrix = Matrix::new()
+        .engines([
+            EngineSpec::Design(DesignKind::SoftwareOnly),
+            EngineSpec::Design(DesignKind::Dhtm),
+            EngineSpec::DhtmInstantWrites,
+            EngineSpec::Design(DesignKind::NonPersistent),
+        ])
+        .workloads(MICRO_NAMES)
+        .config(variant);
+    let rows = run_tagged("ablation", &matrix, opts);
+
+    let mut lines = vec![
+        "# Section VI-D: instant-write ablation and the NP upper bound (normalised to SO)"
+            .to_string(),
+        "# Paper reference: DHTM+instant ~1.16x DHTM; NP ~1.59x DHTM".to_string(),
+    ];
+    lines.push(row_line(
+        "workload",
+        &["DHTM".into(), "DHTM-instant".into(), "NP".into()],
+    ));
+    let mut ratios_instant = Vec::new();
+    let mut ratios_np = Vec::new();
+    for wl in MICRO_NAMES {
+        let tp = |engine: &str| {
+            rows.iter()
+                .find(|r| r.engine == engine && r.workload == wl)
+                .map(Row::throughput)
+                .unwrap_or(0.0)
+        };
+        let (so, dhtm, instant, np) = (tp("SO"), tp("DHTM"), tp("DHTM-instant"), tp("NP"));
+        if dhtm > 0.0 {
+            ratios_instant.push(instant / dhtm);
+            ratios_np.push(np / dhtm);
+        }
+        let norm = |v: f64| {
+            if so > 0.0 {
+                format!("{:.2}", v / so)
+            } else {
+                "0.00".to_string()
+            }
+        };
+        lines.push(row_line(wl, &[norm(dhtm), norm(instant), norm(np)]));
+    }
+    lines.push(String::new());
+    lines.push(format!(
+        "instant-writes speedup over DHTM (geo-mean): {:.2}x   (paper: ~1.16x)",
+        geometric_mean(&ratios_instant)
+    ));
+    lines.push(format!(
+        "NP speedup over DHTM (geo-mean):             {:.2}x   (paper: ~1.59x)",
+        geometric_mean(&ratios_np)
+    ));
+    ExperimentResult {
+        name: "ablation",
+        lines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table IV
+// ---------------------------------------------------------------------------
+
+const TABLE4_PAPER: [(&str, f64); 8] = [
+    ("tpcc", 590.0),
+    ("tatp", 167.0),
+    ("queue", 52.0),
+    ("hash", 58.0),
+    ("sdg", 56.0),
+    ("sps", 63.0),
+    ("btree", 61.0),
+    ("rbtree", 53.0),
+];
+
+fn table4(opts: &HarnessOpts) -> ExperimentResult {
+    let matrix = Matrix::new()
+        .engines([DesignKind::Dhtm])
+        .workloads(TABLE4_PAPER.iter().map(|(wl, _)| *wl))
+        .config(ConfigVariant::default_machine())
+        .commits(CommitSpec::CappedDefault(64));
+    let rows = run_tagged("table4", &matrix, opts);
+
+    let mut lines =
+        vec!["# Table IV: mean write-set size per transaction (cache lines)".to_string()];
+    lines.push(row_line("workload", &["measured".into(), "paper".into()]));
+    for (wl, reference) in TABLE4_PAPER {
+        let measured = rows
+            .iter()
+            .find(|r| r.workload == wl)
+            .map(|r| r.stats.mean_write_set_lines())
+            .unwrap_or(0.0);
+        lines.push(row_line(
+            wl,
+            &[format!("{measured:.0}"), format!("{reference:.0}")],
+        ));
+    }
+    ExperimentResult {
+        name: "table4",
+        lines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table II (pure register arithmetic, no simulation)
+// ---------------------------------------------------------------------------
+
+fn table2(_opts: &HarnessOpts) -> ExperimentResult {
+    // Always report the paper's Table III machine regardless of quick mode.
+    let cfg = SystemConfig::isca18_baseline();
+    let mut lines = vec![format!(
+        "# Table II: DHTM hardware overhead (per core, {}-entry log buffer)",
+        cfg.log_buffer_entries
+    )];
+    lines.push(format!(
+        "| {:<28} | {:<42} | bits |",
+        "register", "description"
+    ));
+    for reg in hardware_overhead(&cfg) {
+        lines.push(format!(
+            "| {:<28} | {:<42} | {} |",
+            reg.name, reg.description, reg.bits
+        ));
+    }
+    lines.push(format!(
+        "total: {} bytes per core",
+        total_overhead_bytes(&cfg)
+    ));
+    ExperimentResult {
+        name: "table2",
+        lines,
+        rows: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scaling sweep (beyond the paper)
+// ---------------------------------------------------------------------------
+
+fn scaling(opts: &HarnessOpts) -> ExperimentResult {
+    let core_counts: Vec<usize> = if quick_mode() {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let configs = ConfigVariant::ladder();
+    let matrix = Matrix::new()
+        .engines([DesignKind::SoftwareOnly, DesignKind::Dhtm])
+        .workloads(["hash", "btree"])
+        .core_counts(core_counts.clone())
+        .configs(configs.clone());
+    let rows = run_tagged("scaling", &matrix, opts);
+
+    let mut lines = vec![
+        "# Scaling sweep: DHTM speedup over SO vs core count (beyond the paper's 8-core point)"
+            .to_string(),
+    ];
+    lines.push(row_line(
+        "config/wl",
+        &core_counts
+            .iter()
+            .map(|c| format!("{c}c"))
+            .collect::<Vec<_>>(),
+    ));
+    for variant in &configs {
+        for wl in ["hash", "btree"] {
+            let values: Vec<String> = core_counts
+                .iter()
+                .map(|&c| format!("{:.2}", so_normalised(&rows, "DHTM", wl, &variant.name, c)))
+                .collect();
+            lines.push(row_line(&format!("{}/{}", variant.name, wl), &values));
+        }
+    }
+    ExperimentResult {
+        name: "scaling",
+        lines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Emission and binary entry points
+// ---------------------------------------------------------------------------
+
+/// Prints every result's table lines, then emits the machine-readable dump
+/// if the CLI asked for one (`--format json|csv`, `--out PATH`). When the
+/// dump itself targets stdout, the tables move to stderr so a redirected
+/// stdout stays valid JSON/CSV.
+///
+/// # Panics
+///
+/// Panics if `--out` was given but the file cannot be written.
+pub fn emit(opts: &HarnessOpts, results: &[ExperimentResult]) {
+    let dump_on_stdout = opts.format != OutputFormat::Table && opts.out.is_none();
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            if dump_on_stdout {
+                eprintln!();
+            } else {
+                println!();
+            }
+        }
+        for line in &result.lines {
+            if dump_on_stdout {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+        }
+    }
+    let all_rows: Vec<Row> = results.iter().flat_map(|r| r.rows.clone()).collect();
+    let dump = match opts.format {
+        OutputFormat::Table => return,
+        OutputFormat::Json => rows_to_json(&all_rows),
+        OutputFormat::Csv => rows_to_csv(&all_rows),
+    };
+    match &opts.out {
+        Some(path) => {
+            let mut file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            file.write_all(dump.as_bytes())
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            eprintln!("wrote {} rows to {}", all_rows.len(), path.display());
+        }
+        None => print!("{dump}"),
+    }
+}
+
+/// CLI entry point shared by the thin figure/table binaries: parses the
+/// process arguments, runs `name` and emits the output.
+///
+/// # Panics
+///
+/// Panics if `name` is not a registered experiment (a bug in the binary).
+pub fn run_cli(name: &str) {
+    let opts = HarnessOpts::parse_env();
+    // Each figure/table binary is hard-wired to one experiment; silently
+    // running it while the user asked for another would mislabel results.
+    if let Some(requested) = opts.experiment.as_deref() {
+        if requested != name {
+            eprintln!(
+                "this binary always runs '{name}'; use the dhtm_experiments binary \
+                 for --experiment {requested}"
+            );
+            std::process::exit(2);
+        }
+    }
+    let experiment = by_name(name).unwrap_or_else(|| panic!("unregistered experiment {name}"));
+    let result = experiment.run(&opts);
+    emit(&opts, &[result]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = ALL.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 9);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9, "duplicate experiment names");
+        for e in ALL {
+            assert_eq!(by_name(e.name).unwrap().name, e.name);
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn table2_reports_overhead_without_simulation() {
+        let result = table2(&HarnessOpts::default());
+        assert!(result.rows.is_empty());
+        assert!(result.lines.len() > 3);
+        assert!(result.lines.last().unwrap().contains("bytes per core"));
+    }
+}

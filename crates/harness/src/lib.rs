@@ -1,0 +1,193 @@
+//! # dhtm-harness
+//!
+//! The declarative experiment-matrix runner behind every figure/table
+//! reproduction binary and scaling study in this repository.
+//!
+//! An experiment is a [`matrix::Matrix`]: the cross product of
+//!
+//! * **engines** — the paper's designs ([`dhtm_types::policy::DesignKind`])
+//!   plus named DHTM variants such as the instant-write ablation,
+//! * **workloads** — the six micro-benchmarks, TATP and TPC-C, by name,
+//! * **core counts** — 1..16 cores (the paper evaluates 8),
+//! * **configs** — named [`SystemConfig`] variants (Table III baseline,
+//!   the small test machine, log-buffer and bandwidth sweeps, ...).
+//!
+//! [`runner::run_matrix`] expands the matrix into cells, shards the
+//! independent simulation runs across an `std::thread` worker pool
+//! (`--jobs N`) and collects one [`runner::Row`] per cell in deterministic
+//! matrix order. Every cell is seeded from a content hash of its workload /
+//! core-count coordinates — *not* from the engine or config, so all designs
+//! and config-sweep points in a group execute the same transaction stream,
+//! and *not* from the worker that happens to run it, so results are
+//! bit-identical for any worker count (enforced by the
+//! `parallel_equivalence` property test).
+//!
+//! [`report`] renders collected rows as JSON, CSV or the normalised-to-SO
+//! tables the paper reports; [`experiments`] holds the definition of each
+//! figure/table plus a beyond-the-paper core-count scaling sweep; the
+//! `dhtm_experiments` binary runs any or all of them from one CLI.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cli;
+pub mod experiments;
+pub mod matrix;
+pub mod report;
+pub mod runner;
+
+use dhtm_baselines::build_engine;
+use dhtm_sim::driver::{RunLimits, SimulationResult, Simulator};
+use dhtm_sim::machine::Machine;
+use dhtm_sim::workload::Workload;
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+use dhtm_workloads::{micro_by_name, TatpWorkload, TpccWorkload};
+
+/// Seed used by all experiments (results are deterministic given the seed).
+pub const EXPERIMENT_SEED: u64 = 0x15CA_2018;
+
+/// True when the `DHTM_BENCH_QUICK` environment variable is set (to anything
+/// but `0`): experiments then run on [`SystemConfig::small_test`] with
+/// sharply reduced commit targets so that every figure/table binary finishes
+/// in seconds. The bin smoke tests and the CI harness job use this; real
+/// reproductions must leave it unset.
+pub fn quick_mode() -> bool {
+    std::env::var_os("DHTM_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// The machine configuration every experiment binary should simulate: the
+/// paper's Table III machine, or the small test machine in [`quick_mode`].
+pub fn experiment_config() -> SystemConfig {
+    if quick_mode() {
+        SystemConfig::small_test()
+    } else {
+        SystemConfig::isca18_baseline()
+    }
+}
+
+/// The six micro-benchmark names in the paper's order.
+pub const MICRO_NAMES: [&str; 6] = ["queue", "hash", "sdg", "sps", "btree", "rbtree"];
+
+/// All eight workload names: the six micro-benchmarks plus TATP and TPC-C.
+pub const ALL_WORKLOADS: [&str; 8] = [
+    "queue", "hash", "sdg", "sps", "btree", "rbtree", "tatp", "tpcc",
+];
+
+/// Builds a workload by name ("queue".."rbtree", "tatp", "tpcc").
+///
+/// # Panics
+///
+/// Panics if the name is unknown.
+pub fn workload_by_name(name: &str, seed: u64) -> Box<dyn Workload> {
+    match name {
+        "tatp" => Box::new(TatpWorkload::new(seed)),
+        "tpcc" => Box::new(TpccWorkload::new(seed)),
+        other => micro_by_name(other, seed).unwrap_or_else(|| panic!("unknown workload {other}")),
+    }
+}
+
+/// Commit targets appropriate for each workload class (OLTP transactions are
+/// an order of magnitude larger than the micro-benchmark batches). In
+/// [`quick_mode`] the targets shrink ~20x so the smoke tests stay fast.
+pub fn default_commits_for(workload: &str) -> u64 {
+    let base: u64 = match workload {
+        "tpcc" => 64,
+        "tatp" => 160,
+        _ => 400,
+    };
+    if quick_mode() {
+        (base / 20).max(3)
+    } else {
+        base
+    }
+}
+
+/// Runs one (design, workload) pair on a fresh machine and returns the
+/// simulation result. Compatibility entry point predating the matrix
+/// runner; new code should build a [`matrix::Matrix`] instead.
+pub fn run_pair(
+    design: DesignKind,
+    workload_name: &str,
+    cfg: &SystemConfig,
+    commits: u64,
+) -> SimulationResult {
+    let mut machine = Machine::new(cfg.clone());
+    let mut engine = build_engine(design, cfg);
+    let mut workload = workload_by_name(workload_name, EXPERIMENT_SEED);
+    let limits = RunLimits::evaluation().with_target_commits(commits);
+    Simulator::new().run(&mut machine, engine.as_mut(), workload.as_mut(), &limits)
+}
+
+/// Runs `designs` on `workload_name` and returns `(design, result)` pairs.
+pub fn run_designs(
+    designs: &[DesignKind],
+    workload_name: &str,
+    cfg: &SystemConfig,
+) -> Vec<(DesignKind, SimulationResult)> {
+    let commits = default_commits_for(workload_name);
+    designs
+        .iter()
+        .map(|&d| (d, run_pair(d, workload_name, cfg, commits)))
+        .collect()
+}
+
+/// Throughput of `design` normalised to the SO result in the same set.
+pub fn normalised_throughput(
+    results: &[(DesignKind, SimulationResult)],
+    design: DesignKind,
+) -> f64 {
+    let so = results
+        .iter()
+        .find(|(d, _)| *d == DesignKind::SoftwareOnly)
+        .map(|(_, r)| r.throughput())
+        .unwrap_or(1.0);
+    let target = results
+        .iter()
+        .find(|(d, _)| *d == design)
+        .map(|(_, r)| r.throughput())
+        .unwrap_or(0.0);
+    if so > 0.0 {
+        target / so
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_resolve_by_name() {
+        for name in ALL_WORKLOADS {
+            assert_eq!(workload_by_name(name, 1).name(), name);
+        }
+    }
+
+    #[test]
+    fn quick_pair_run_produces_commits() {
+        let cfg = SystemConfig::small_test();
+        let res = run_pair(DesignKind::Dhtm, "hash", &cfg, 20);
+        assert_eq!(res.stats.committed, 20);
+        assert!(res.throughput() > 0.0);
+    }
+
+    #[test]
+    fn normalisation_is_relative_to_so() {
+        let cfg = SystemConfig::small_test();
+        let results = vec![
+            (
+                DesignKind::SoftwareOnly,
+                run_pair(DesignKind::SoftwareOnly, "hash", &cfg, 10),
+            ),
+            (
+                DesignKind::Dhtm,
+                run_pair(DesignKind::Dhtm, "hash", &cfg, 10),
+            ),
+        ];
+        let so_norm = normalised_throughput(&results, DesignKind::SoftwareOnly);
+        assert!((so_norm - 1.0).abs() < 1e-9);
+        assert!(normalised_throughput(&results, DesignKind::Dhtm) > 0.0);
+    }
+}

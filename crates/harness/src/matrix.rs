@@ -1,0 +1,414 @@
+//! The experiment matrix: the declarative cross product of engines,
+//! workloads, core counts and machine configurations, expanded into
+//! independently runnable cells with deterministic seeding.
+
+use dhtm::{DhtmEngine, DhtmOptions};
+use dhtm_baselines::build_engine;
+use dhtm_sim::engine::TxEngine;
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+
+use crate::{default_commits_for, experiment_config, quick_mode};
+
+/// Which transaction engine a cell runs: one of the paper's designs, or a
+/// named DHTM variant that [`DesignKind`] does not capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineSpec {
+    /// One of the six evaluated designs, built via
+    /// [`dhtm_baselines::build_engine`].
+    Design(DesignKind),
+    /// DHTM with instantaneous critical-path writes (the Section VI-D
+    /// ablation).
+    DhtmInstantWrites,
+}
+
+impl EngineSpec {
+    /// Label used in tables and result rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineSpec::Design(d) => d.label(),
+            EngineSpec::DhtmInstantWrites => "DHTM-instant",
+        }
+    }
+
+    /// Builds the engine for a machine with configuration `cfg`.
+    pub fn build(&self, cfg: &SystemConfig) -> Box<dyn TxEngine> {
+        match self {
+            EngineSpec::Design(d) => build_engine(*d, cfg),
+            EngineSpec::DhtmInstantWrites => {
+                Box::new(DhtmEngine::with_options(cfg, DhtmOptions::instant_writes()))
+            }
+        }
+    }
+
+    /// Whether this engine is the SO normalisation baseline.
+    pub fn is_so_baseline(&self) -> bool {
+        matches!(self, EngineSpec::Design(DesignKind::SoftwareOnly))
+    }
+}
+
+impl From<DesignKind> for EngineSpec {
+    fn from(d: DesignKind) -> Self {
+        EngineSpec::Design(d)
+    }
+}
+
+/// A named machine configuration — one point on the matrix's config axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigVariant {
+    /// Short name used in tables and result rows ("default", "logbuf16",
+    /// "bw2x", ...).
+    pub name: String,
+    /// The configuration itself.
+    pub config: SystemConfig,
+}
+
+impl ConfigVariant {
+    /// Creates a named configuration variant.
+    pub fn new(name: impl Into<String>, config: SystemConfig) -> Self {
+        ConfigVariant {
+            name: name.into(),
+            config,
+        }
+    }
+
+    /// The default experiment configuration (Table III, or the small test
+    /// machine in quick mode).
+    pub fn default_machine() -> Self {
+        ConfigVariant::new("default", experiment_config())
+    }
+
+    /// The scaled-down test machine.
+    pub fn small() -> Self {
+        ConfigVariant::new("small", SystemConfig::small_test())
+    }
+
+    /// A beyond-the-paper "large" machine: double the LLC, a 128-entry log
+    /// buffer and double the memory bandwidth, for scenario diversity in
+    /// the scaling sweeps.
+    pub fn large() -> Self {
+        let mut cfg = SystemConfig::isca18_baseline()
+            .with_log_buffer_entries(128)
+            .with_bandwidth_multiplier(2.0);
+        cfg.llc = dhtm_types::config::CacheGeometry::new(16 * 1024 * 1024, 16, cfg.l1.line_size);
+        ConfigVariant::new("large", cfg)
+    }
+
+    /// The named small/default/large ladder used by the scaling experiment.
+    /// Quick mode keeps only the small machine.
+    pub fn ladder() -> Vec<Self> {
+        if quick_mode() {
+            vec![Self::small()]
+        } else {
+            vec![Self::small(), Self::default_machine(), Self::large()]
+        }
+    }
+}
+
+/// How the commit target of each cell is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitSpec {
+    /// The per-workload default ([`default_commits_for`]).
+    PerWorkloadDefault,
+    /// The per-workload default, capped at the given value (Table IV uses
+    /// this to bound the very large TPC-C batches).
+    CappedDefault(u64),
+    /// A fixed target for every cell.
+    Fixed(u64),
+}
+
+impl CommitSpec {
+    fn resolve(&self, workload: &str) -> u64 {
+        match self {
+            CommitSpec::PerWorkloadDefault => default_commits_for(workload),
+            CommitSpec::CappedDefault(cap) => default_commits_for(workload).min(*cap),
+            CommitSpec::Fixed(n) => *n,
+        }
+    }
+}
+
+/// A declarative experiment matrix: `engines × workloads × core_counts ×
+/// configs`.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// The engines to run (at least one).
+    pub engines: Vec<EngineSpec>,
+    /// The workload names to run (at least one).
+    pub workloads: Vec<String>,
+    /// Core counts to sweep. Empty means "whatever each config specifies".
+    pub core_counts: Vec<usize>,
+    /// Named machine configurations (at least one).
+    pub configs: Vec<ConfigVariant>,
+    /// Commit-target policy.
+    pub commits: CommitSpec,
+    /// Base seed mixed into every cell's seed.
+    pub seed: u64,
+}
+
+impl Matrix {
+    /// Creates a matrix with the default machine config, per-workload
+    /// commit targets and the shared experiment seed.
+    pub fn new() -> Self {
+        Matrix {
+            engines: Vec::new(),
+            workloads: Vec::new(),
+            core_counts: Vec::new(),
+            configs: vec![ConfigVariant::default_machine()],
+            commits: CommitSpec::PerWorkloadDefault,
+            seed: crate::EXPERIMENT_SEED,
+        }
+    }
+
+    /// Sets the engine axis from design kinds or engine specs.
+    #[must_use]
+    pub fn engines<I, E>(mut self, engines: I) -> Self
+    where
+        I: IntoIterator<Item = E>,
+        E: Into<EngineSpec>,
+    {
+        self.engines = engines.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the workload axis.
+    #[must_use]
+    pub fn workloads<I, S>(mut self, workloads: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.workloads = workloads.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the core-count axis.
+    #[must_use]
+    pub fn core_counts<I: IntoIterator<Item = usize>>(mut self, counts: I) -> Self {
+        self.core_counts = counts.into_iter().collect();
+        self
+    }
+
+    /// Sets the config axis.
+    #[must_use]
+    pub fn configs<I: IntoIterator<Item = ConfigVariant>>(mut self, configs: I) -> Self {
+        self.configs = configs.into_iter().collect();
+        self
+    }
+
+    /// Sets a single config.
+    #[must_use]
+    pub fn config(self, config: ConfigVariant) -> Self {
+        self.configs(vec![config])
+    }
+
+    /// Sets the commit-target policy.
+    #[must_use]
+    pub fn commits(mut self, commits: CommitSpec) -> Self {
+        self.commits = commits;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Expands the matrix into runnable cells, in deterministic
+    /// config-major / workload / core-count / engine order (so every
+    /// engine of one group is adjacent, which keeps normalised tables easy
+    /// to read when streaming rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis that must be non-empty is empty.
+    pub fn cells(&self) -> Vec<Cell> {
+        assert!(!self.engines.is_empty(), "matrix needs at least one engine");
+        assert!(
+            !self.workloads.is_empty(),
+            "matrix needs at least one workload"
+        );
+        assert!(!self.configs.is_empty(), "matrix needs at least one config");
+        let mut cells = Vec::new();
+        for variant in &self.configs {
+            let core_counts: Vec<usize> = if self.core_counts.is_empty() {
+                vec![variant.config.num_cores]
+            } else {
+                self.core_counts.clone()
+            };
+            for workload in &self.workloads {
+                for &cores in &core_counts {
+                    for engine in &self.engines {
+                        let config = variant.config.clone().with_num_cores(cores);
+                        cells.push(Cell {
+                            index: cells.len(),
+                            engine: *engine,
+                            workload: workload.clone(),
+                            cores,
+                            config_name: variant.name.clone(),
+                            config,
+                            commits: self.commits.resolve(workload),
+                            seed: cell_seed(self.seed, workload, cores),
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One fully resolved simulation run: a point of the experiment matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Position in matrix enumeration order (results are returned in this
+    /// order regardless of which worker ran the cell).
+    pub index: usize,
+    /// The engine to run.
+    pub engine: EngineSpec,
+    /// The workload name.
+    pub workload: String,
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Name of the config variant.
+    pub config_name: String,
+    /// The machine configuration (already adjusted to `cores`).
+    pub config: SystemConfig,
+    /// Commit target for the run.
+    pub commits: u64,
+    /// Workload seed for the run.
+    pub seed: u64,
+}
+
+/// Deterministic per-cell seed: a content hash of the cell's workload-facing
+/// coordinates. The engine is deliberately *not* mixed in — every design in
+/// a (workload, cores) group must see the same transaction stream for the
+/// normalised comparisons to be apples-to-apples — and neither is the
+/// config: a config sweep (log-buffer sizes, bandwidth multipliers, the
+/// small/default/large ladder) must replay the *same* stream at every point
+/// so the curve isolates the config effect, exactly as the pre-harness
+/// binaries did with one fixed seed. The cell index and worker id are also
+/// excluded, so seeds are stable under matrix reordering and any `--jobs`
+/// value.
+pub fn cell_seed(base: u64, workload: &str, cores: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    mix(&base.to_le_bytes());
+    mix(workload.as_bytes());
+    mix(&(cores as u64).to_le_bytes());
+    // splitmix64 finaliser to spread the FNV state over all 64 bits.
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_cover_the_cross_product_in_order() {
+        let m = Matrix::new()
+            .engines([DesignKind::SoftwareOnly, DesignKind::Dhtm])
+            .workloads(["queue", "hash"])
+            .core_counts([2, 4])
+            .config(ConfigVariant::small());
+        let cells = m.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+        // Engine-adjacent: the first two cells differ only in the engine.
+        assert_eq!(cells[0].workload, cells[1].workload);
+        assert_eq!(cells[0].cores, cells[1].cores);
+        assert_ne!(cells[0].engine, cells[1].engine);
+    }
+
+    #[test]
+    fn empty_core_axis_uses_config_core_count() {
+        let m = Matrix::new()
+            .engines([DesignKind::Dhtm])
+            .workloads(["queue"])
+            .config(ConfigVariant::small());
+        let cells = m.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].cores, SystemConfig::small_test().num_cores);
+    }
+
+    #[test]
+    fn cell_seeds_ignore_engine_and_config_but_depend_on_coordinates() {
+        let m = Matrix::new()
+            .engines([DesignKind::SoftwareOnly, DesignKind::Dhtm])
+            .workloads(["queue", "hash"])
+            .core_counts([2, 4])
+            .configs([ConfigVariant::small(), ConfigVariant::large()]);
+        let cells = m.cells();
+        for pair in cells.chunks(2) {
+            // Same (workload, cores): both engines share the seed.
+            assert_eq!(pair[0].seed, pair[1].seed);
+        }
+        let seeds: std::collections::BTreeSet<u64> = cells.iter().map(|c| c.seed).collect();
+        assert_eq!(
+            seeds.len(),
+            4,
+            "four distinct (workload, cores) groups; config sweeps replay the same stream"
+        );
+        assert_ne!(
+            cell_seed(1, "hash", 4),
+            cell_seed(2, "hash", 4),
+            "base seed must matter"
+        );
+        assert_ne!(
+            cell_seed(1, "hash", 4),
+            cell_seed(1, "hash", 8),
+            "core count must matter"
+        );
+    }
+
+    #[test]
+    fn commit_spec_resolution() {
+        assert_eq!(
+            CommitSpec::PerWorkloadDefault.resolve("hash"),
+            default_commits_for("hash")
+        );
+        assert_eq!(
+            CommitSpec::CappedDefault(64).resolve("hash"),
+            default_commits_for("hash").min(64)
+        );
+        assert_eq!(CommitSpec::Fixed(7).resolve("tpcc"), 7);
+    }
+
+    #[test]
+    fn engine_spec_builds_and_labels() {
+        let cfg = SystemConfig::small_test();
+        for kind in DesignKind::ALL {
+            let spec = EngineSpec::from(kind);
+            assert_eq!(spec.build(&cfg).design(), kind);
+            assert_eq!(spec.label(), kind.label());
+        }
+        let instant = EngineSpec::DhtmInstantWrites;
+        assert_eq!(instant.build(&cfg).design(), DesignKind::Dhtm);
+        assert_eq!(instant.label(), "DHTM-instant");
+        assert!(EngineSpec::Design(DesignKind::SoftwareOnly).is_so_baseline());
+        assert!(!instant.is_so_baseline());
+    }
+
+    #[test]
+    fn large_config_variant_is_valid() {
+        let v = ConfigVariant::large();
+        assert!(v.config.validate().is_ok());
+        assert_eq!(v.config.log_buffer_entries, 128);
+    }
+}

@@ -1,0 +1,157 @@
+//! The worker pool: shards the independent cells of a matrix across
+//! `std::thread` workers and collects results in deterministic matrix order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use dhtm_sim::driver::{RunLimits, Simulator};
+use dhtm_sim::machine::Machine;
+use dhtm_types::stats::RunStats;
+
+use crate::matrix::{Cell, Matrix};
+use crate::workload_by_name;
+
+/// One collected result row: the cell's coordinates plus the run statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Name of the experiment the row belongs to (filled in by the
+    /// experiment definitions; empty for ad-hoc matrices).
+    pub experiment: String,
+    /// Engine label ("SO", "DHTM", "DHTM-instant", ...).
+    pub engine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Config-variant name.
+    pub config: String,
+    /// The workload seed the cell ran with.
+    pub seed: u64,
+    /// The commit target the cell ran to.
+    pub target_commits: u64,
+    /// Aggregate statistics of the run.
+    pub stats: RunStats,
+}
+
+impl Row {
+    /// Committed transactions per million cycles.
+    pub fn throughput(&self) -> f64 {
+        self.stats.throughput_per_mcycle()
+    }
+}
+
+/// Runs a single cell to completion on the calling thread.
+pub fn run_cell(cell: &Cell) -> Row {
+    let mut machine = Machine::new(cell.config.clone());
+    let mut engine = cell.engine.build(&cell.config);
+    let mut workload = workload_by_name(&cell.workload, cell.seed);
+    let limits = RunLimits::evaluation().with_target_commits(cell.commits);
+    let result = Simulator::new().run(&mut machine, engine.as_mut(), workload.as_mut(), &limits);
+    Row {
+        experiment: String::new(),
+        engine: cell.engine.label().to_string(),
+        workload: cell.workload.clone(),
+        cores: cell.cores,
+        config: cell.config_name.clone(),
+        seed: cell.seed,
+        target_commits: cell.commits,
+        stats: result.stats,
+    }
+}
+
+/// Expands `matrix` into cells and runs them on `jobs` workers.
+///
+/// Rows come back in matrix-enumeration order and are bit-identical for any
+/// `jobs` value: each cell builds its own machine, engine and workload from
+/// the cell's deterministic seed, so no state is shared between cells.
+pub fn run_matrix(matrix: &Matrix, jobs: usize) -> Vec<Row> {
+    run_cells(&matrix.cells(), jobs)
+}
+
+/// Runs pre-expanded cells on `jobs` workers (1 = serial on this thread).
+pub fn run_cells(cells: &[Cell], jobs: usize) -> Vec<Row> {
+    let jobs = jobs.clamp(1, cells.len().max(1));
+    if jobs == 1 {
+        return cells.iter().map(run_cell).collect();
+    }
+
+    // Work-stealing by atomic cursor: workers pull the next unclaimed cell
+    // index; each result lands in its cell's dedicated slot, so collection
+    // order is matrix order no matter which worker ran what.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Row>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else {
+                    break;
+                };
+                let row = run_cell(cell);
+                *slots[i].lock().expect("result slot poisoned") = Some(row);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell ran")
+        })
+        .collect()
+}
+
+/// A sensible default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::CommitSpec;
+    use crate::matrix::ConfigVariant;
+    use dhtm_types::policy::DesignKind;
+
+    fn tiny_matrix() -> Matrix {
+        Matrix::new()
+            .engines([DesignKind::SoftwareOnly, DesignKind::Dhtm])
+            .workloads(["queue"])
+            .core_counts([2])
+            .config(ConfigVariant::small())
+            .commits(CommitSpec::Fixed(6))
+    }
+
+    #[test]
+    fn serial_run_produces_one_row_per_cell() {
+        let m = tiny_matrix();
+        let rows = run_matrix(&m, 1);
+        assert_eq!(rows.len(), m.cells().len());
+        assert!(rows.iter().all(|r| r.stats.committed == 6));
+        assert_eq!(rows[0].engine, "SO");
+        assert_eq!(rows[1].engine, "DHTM");
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_bit_for_bit() {
+        let m = tiny_matrix();
+        let serial = run_matrix(&m, 1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(run_matrix(&m, jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn oversized_job_count_is_clamped() {
+        let m = tiny_matrix();
+        let rows = run_matrix(&m, 1000);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,5 +1,15 @@
 //! The simulation driver: deterministic multicore execution of a workload on
 //! a design.
+//!
+//! The inner loop is an event-heap scheduler: each core has one entry in a
+//! min-heap keyed by `(local_time, core_index)`, so selecting the next core
+//! to step is O(log cores) instead of an O(cores) rescan. The tie-break on
+//! the core index makes the schedule identical to the historical
+//! linear-scan driver, so results are bit-for-bit reproducible across both
+//! implementations and any worker-pool sharding built on top.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use dhtm_types::ids::CoreId;
 use dhtm_types::policy::DesignKind;
@@ -70,6 +80,10 @@ impl SimulationResult {
 }
 
 /// Per-core execution state inside the driver.
+///
+/// Statistics are accumulated per core and merged into one [`RunStats`] in a
+/// single batch when the run finishes (see [`RunStats::merge_many`]); the
+/// hot loop never touches shared aggregate state.
 #[derive(Debug)]
 struct CoreRun {
     time: u64,
@@ -77,9 +91,7 @@ struct CoreRun {
     op_idx: usize,
     begun: bool,
     attempts: u32,
-    committed: u64,
-    aborted_attempts: u64,
-    stall_cycles: u64,
+    stats: RunStats,
 }
 
 impl CoreRun {
@@ -90,9 +102,7 @@ impl CoreRun {
             op_idx: 0,
             begun: false,
             attempts: 0,
-            committed: 0,
-            aborted_attempts: 0,
-            stall_cycles: 0,
+            stats: RunStats::new(),
         }
     }
 }
@@ -151,27 +161,25 @@ impl Simulator {
 
         let num_cores = machine.num_cores();
         let mut cores: Vec<CoreRun> = (0..num_cores).map(|_| CoreRun::new()).collect();
-        let mut stats = RunStats::new();
         let mem_stats_before = machine.mem.stats().clone();
         let log_records_before = machine.mem.domain().total_log_records();
 
-        loop {
-            let total_committed: u64 = cores.iter().map(|c| c.committed).sum();
-            if total_committed >= limits.target_commits {
+        // Event heap: one entry per core, keyed by (local time, core index).
+        // Popping yields the core with the smallest local time, ties broken
+        // by the lower index — the same schedule as a linear min-scan.
+        let mut events: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..num_cores).map(|i| Reverse((0, i))).collect();
+        let mut total_committed: u64 = 0;
+
+        while total_committed < limits.target_commits {
+            let Some(Reverse((now, core_idx))) = events.pop() else {
                 break;
-            }
-            // Pick the core with the smallest local time.
-            let core_idx = cores
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, c)| (c.time, *i))
-                .map(|(i, _)| i)
-                .expect("at least one core");
-            if cores[core_idx].time >= limits.max_cycles {
+            };
+            debug_assert_eq!(now, cores[core_idx].time, "stale event-heap entry");
+            if now >= limits.max_cycles {
                 break;
             }
             let core = CoreId::new(core_idx);
-            let now = cores[core_idx].time;
 
             // Ensure the core has a transaction to work on.
             if cores[core_idx].tx.is_none() {
@@ -213,10 +221,7 @@ impl Simulator {
                         Step::Op => cores[core_idx].op_idx += 1,
                         Step::Commit => {
                             let tx = cores[core_idx].tx.take().expect("present");
-                            cores[core_idx].committed += 1;
-                            stats.committed += 1;
-                            stats.loads += tx.load_count() as u64;
-                            stats.stores += tx.store_count() as u64;
+                            total_committed += 1;
                             let tx_stats = engine.last_tx_stats(core);
                             let ws = if tx_stats.write_set_lines > 0 {
                                 tx_stats.write_set_lines
@@ -228,6 +233,10 @@ impl Simulator {
                             } else {
                                 tx.read_set_lines().len()
                             };
+                            let stats = &mut cores[core_idx].stats;
+                            stats.committed += 1;
+                            stats.loads += tx.load_count() as u64;
+                            stats.stores += tx.store_count() as u64;
                             stats.sum_write_set_lines += ws as u64;
                             stats.sum_read_set_lines += rs as u64;
                         }
@@ -235,19 +244,21 @@ impl Simulator {
                 }
                 StepOutcome::Stall { retry_at } => {
                     let wait = retry_at.saturating_sub(now).max(1);
-                    cores[core_idx].stall_cycles += wait;
-                    if matches!(step_kind, Step::Begin) {
-                        stats.lock_wait_cycles += wait;
+                    let run = &mut cores[core_idx];
+                    run.stats.total_stall_cycles += wait;
+                    match step_kind {
+                        Step::Begin => run.stats.lock_wait_cycles += wait,
+                        Step::Commit => run.stats.commit_stall_cycles += wait,
+                        Step::Op => {}
                     }
-                    cores[core_idx].time = now + wait;
+                    run.time = now + wait;
                 }
                 StepOutcome::Aborted {
                     at,
                     retry_at,
                     reason,
                 } => {
-                    stats.record_abort(reason);
-                    cores[core_idx].aborted_attempts += 1;
+                    cores[core_idx].stats.record_abort(reason);
                     let attempts = cores[core_idx].attempts;
                     let resume = at.max(retry_at).max(now) + self.backoff(attempts, core);
                     cores[core_idx].time = resume;
@@ -256,10 +267,17 @@ impl Simulator {
                     cores[core_idx].attempts = attempts.saturating_add(1);
                 }
             }
+
+            let t = cores[core_idx].time;
+            events.push(Reverse((t, core_idx)));
         }
 
-        // ---- Collect statistics. ----
-        stats.total_cycles = cores.iter().map(|c| c.time).max().unwrap_or(0);
+        // ---- Collect statistics: merge the per-core batches, then add the
+        // machine-global memory-system deltas. ----
+        for c in &mut cores {
+            c.stats.total_cycles = c.time;
+        }
+        let mut stats = RunStats::merge_many(cores.iter().map(|c| &c.stats));
         let mem_stats = machine.mem.stats();
         stats.l1_hits = mem_stats.l1_hits - mem_stats_before.l1_hits;
         stats.l1_misses = mem_stats.l1_misses - mem_stats_before.l1_misses;
@@ -270,7 +288,6 @@ impl Simulator {
         stats.data_bytes_written =
             mem_stats.data_writeback_bytes - mem_stats_before.data_writeback_bytes;
         stats.log_records_written = machine.mem.domain().total_log_records() - log_records_before;
-        stats.commit_stall_cycles = cores.iter().map(|c| c.stall_cycles).sum();
         stats.fallback_commits = engine.fallback_commits();
 
         SimulationResult {
@@ -438,6 +455,82 @@ mod tests {
         let result = Simulator::new().run(&mut machine, &mut engine, &mut workload, &limits);
         assert!(result.stats.committed > 0);
         assert!(result.stats.total_cycles < 100_000);
+    }
+
+    /// An engine that stalls exactly once per transaction on begin (5 cycles)
+    /// and once on commit (11 cycles), to pin the stall-cycle bookkeeping.
+    #[derive(Debug, Default)]
+    struct StallingEngine {
+        begin_stalled: bool,
+        commit_stalled: bool,
+    }
+
+    impl TxEngine for StallingEngine {
+        fn design(&self) -> DesignKind {
+            DesignKind::NonPersistent
+        }
+        fn init(&mut self, _machine: &mut Machine) {}
+        fn begin(
+            &mut self,
+            _machine: &mut Machine,
+            _core: CoreId,
+            _locks: &[LockId],
+            now: u64,
+        ) -> StepOutcome {
+            if !self.begin_stalled {
+                self.begin_stalled = true;
+                StepOutcome::Stall { retry_at: now + 5 }
+            } else {
+                StepOutcome::done(now + 1)
+            }
+        }
+        fn read(
+            &mut self,
+            _machine: &mut Machine,
+            _core: CoreId,
+            _addr: Address,
+            now: u64,
+        ) -> StepOutcome {
+            StepOutcome::done(now + 1)
+        }
+        fn write(
+            &mut self,
+            _machine: &mut Machine,
+            _core: CoreId,
+            _addr: Address,
+            _value: u64,
+            now: u64,
+        ) -> StepOutcome {
+            StepOutcome::done(now + 1)
+        }
+        fn commit(&mut self, _machine: &mut Machine, _core: CoreId, now: u64) -> StepOutcome {
+            if !self.commit_stalled {
+                self.commit_stalled = true;
+                StepOutcome::Stall { retry_at: now + 11 }
+            } else {
+                self.begin_stalled = false;
+                self.commit_stalled = false;
+                StepOutcome::done(now + 1)
+            }
+        }
+        fn last_tx_stats(&mut self, _core: CoreId) -> TxStats {
+            TxStats::default()
+        }
+    }
+
+    #[test]
+    fn commit_stall_cycles_count_only_commit_step_stalls() {
+        let mut machine = Machine::new(SystemConfig::small_test().with_num_cores(1));
+        let mut engine = StallingEngine::default();
+        let mut workload = CounterWorkload::new(1);
+        let limits = RunLimits::quick().with_target_commits(10);
+        let result = Simulator::new().run(&mut machine, &mut engine, &mut workload, &limits);
+        assert_eq!(result.stats.committed, 10);
+        // Each transaction stalls 11 cycles at commit and 5 cycles at begin;
+        // commit_stall_cycles must not conflate the two.
+        assert_eq!(result.stats.commit_stall_cycles, 10 * 11);
+        assert_eq!(result.stats.lock_wait_cycles, 10 * 5);
+        assert_eq!(result.stats.total_stall_cycles, 10 * (11 + 5));
     }
 
     #[test]

@@ -99,9 +99,14 @@ pub struct RunStats {
     pub write_set_overflows: u64,
     /// Cycles spent waiting for locks (lock-based designs).
     pub lock_wait_cycles: u64,
-    /// Cycles spent stalled on commit (waiting for log persistence / data
-    /// flush, depending on the design).
+    /// Cycles spent stalled *at commit* (waiting for log persistence / data
+    /// flush, depending on the design). Counts only stalls of the commit
+    /// step itself, not lock waits or NACKed memory operations — those are
+    /// in [`RunStats::lock_wait_cycles`] and [`RunStats::total_stall_cycles`].
     pub commit_stall_cycles: u64,
+    /// Total cycles cores spent stalled re-issuing *any* step (lock waits,
+    /// NACKed requests and commit drains combined).
+    pub total_stall_cycles: u64,
     /// Number of transactions executed on the software fallback path.
     pub fallback_commits: u64,
     /// Sum of write-set sizes (lines) over committed transactions, for
@@ -203,9 +208,24 @@ impl RunStats {
         self.write_set_overflows += other.write_set_overflows;
         self.lock_wait_cycles += other.lock_wait_cycles;
         self.commit_stall_cycles += other.commit_stall_cycles;
+        self.total_stall_cycles += other.total_stall_cycles;
         self.fallback_commits += other.fallback_commits;
         self.sum_write_set_lines += other.sum_write_set_lines;
         self.sum_read_set_lines += other.sum_read_set_lines;
+    }
+
+    /// Merges a batch of per-core (or per-shard) statistics records into one
+    /// aggregate — the batched-collection path used by the simulation driver
+    /// and the experiment harness.
+    pub fn merge_many<'a, I>(parts: I) -> RunStats
+    where
+        I: IntoIterator<Item = &'a RunStats>,
+    {
+        let mut total = RunStats::new();
+        for part in parts {
+            total.merge(part);
+        }
+        total
     }
 }
 
@@ -287,6 +307,43 @@ mod tests {
         assert_eq!(a.total_cycles, 250);
         assert_eq!(a.total_aborts(), 3);
         assert_eq!(a.aborts[&AbortReason::Conflict], 2);
+    }
+
+    #[test]
+    fn merge_accumulates_stall_breakdown() {
+        let mut a = RunStats::new();
+        a.lock_wait_cycles = 10;
+        a.commit_stall_cycles = 4;
+        a.total_stall_cycles = 14;
+        let mut b = RunStats::new();
+        b.lock_wait_cycles = 1;
+        b.commit_stall_cycles = 2;
+        b.total_stall_cycles = 3;
+        a.merge(&b);
+        assert_eq!(a.lock_wait_cycles, 11);
+        assert_eq!(a.commit_stall_cycles, 6);
+        assert_eq!(a.total_stall_cycles, 17);
+    }
+
+    #[test]
+    fn merge_many_folds_per_core_records() {
+        let parts: Vec<RunStats> = (1..=4u64)
+            .map(|i| {
+                let mut s = RunStats::new();
+                s.committed = i;
+                s.total_cycles = i * 100;
+                s.record_abort(AbortReason::Conflict);
+                s
+            })
+            .collect();
+        let total = RunStats::merge_many(&parts);
+        assert_eq!(total.committed, 10);
+        assert_eq!(total.total_cycles, 400);
+        assert_eq!(total.total_aborts(), 4);
+        assert_eq!(
+            RunStats::merge_many(std::iter::empty::<&RunStats>()),
+            RunStats::new()
+        );
     }
 
     #[test]

@@ -421,4 +421,81 @@ mod tests {
         // The district locks differ because the home warehouses differ.
         assert_ne!(t0.locks, t1.locks);
     }
+
+    #[test]
+    fn tatp_transaction_mix_ratios() {
+        // The batch cycles through the 8 standard TATP operations via
+        // `i % 8`: one compute block per DB operation, and a read-dominated
+        // load/store mix (classes 0-3 are read-only, 4-7 update).
+        let mut w = TatpWorkload::new(23);
+        let tx = w.next_transaction(CoreId::new(0));
+        let computes = tx
+            .ops
+            .iter()
+            .filter(|op| matches!(op, dhtm_sim::workload::TxOp::Compute(_)))
+            .count();
+        assert_eq!(computes, w.ops_per_tx, "one compute block per DB op");
+        let loads = tx.load_count() as f64;
+        let stores = tx.store_count() as f64;
+        assert!(stores > 0.0, "update classes must issue stores");
+        let ratio = loads / stores;
+        // 25 occurrences of each class give 650 loads and 250-300 stores.
+        assert!(
+            (2.0..=3.0).contains(&ratio),
+            "TATP load/store ratio {ratio:.2} outside the read-dominated band"
+        );
+    }
+
+    #[test]
+    fn tpcc_transaction_mix_ratios() {
+        // Each batch is orders_per_tx new-orders and payments_per_tx
+        // payments (5:1 by construction), observable through the host-side
+        // models: order ids advance once per new-order, the history cursor
+        // once per payment.
+        let mut w = TpccWorkload::new(23);
+        let orders_before: u64 = w.next_order_id.iter().sum();
+        let history_before = w.history_cursor;
+        let _ = w.next_transaction(CoreId::new(0));
+        let orders = w.next_order_id.iter().sum::<u64>() - orders_before;
+        let payments = w.history_cursor - history_before;
+        assert_eq!(orders, w.orders_per_tx as u64);
+        assert_eq!(payments, w.payments_per_tx as u64);
+        assert_eq!(
+            orders / payments,
+            5,
+            "paper-calibrated 5:1 order:payment mix"
+        );
+    }
+
+    #[test]
+    fn tatp_streams_are_seed_deterministic() {
+        let mut a = TatpWorkload::new(99);
+        let mut b = TatpWorkload::new(99);
+        for i in 0..3 {
+            let ta = a.next_transaction(CoreId::new(i % 2));
+            let tb = b.next_transaction(CoreId::new(i % 2));
+            assert_eq!(ta.ops, tb.ops, "same seed must replay the same stream");
+            assert_eq!(ta.locks, tb.locks);
+        }
+        let mut c = TatpWorkload::new(100);
+        let tc = c.next_transaction(CoreId::new(0));
+        let ta = TatpWorkload::new(99).next_transaction(CoreId::new(0));
+        assert_ne!(ta.ops, tc.ops, "different seeds must diverge");
+    }
+
+    #[test]
+    fn tpcc_streams_are_seed_deterministic() {
+        let mut a = TpccWorkload::new(42);
+        let mut b = TpccWorkload::new(42);
+        for _ in 0..2 {
+            let ta = a.next_transaction(CoreId::new(1));
+            let tb = b.next_transaction(CoreId::new(1));
+            assert_eq!(ta.ops, tb.ops);
+            assert_eq!(ta.locks, tb.locks);
+        }
+        // The host-side models evolved identically too.
+        assert_eq!(a.next_order_id, b.next_order_id);
+        assert_eq!(a.stock_quantity, b.stock_quantity);
+        assert_eq!(a.history_cursor, b.history_cursor);
+    }
 }

@@ -124,4 +124,59 @@ mod tests {
         assert_eq!(tx.write_set_lines().len(), 3);
         assert_eq!(tx.read_set_lines().len(), 2);
     }
+
+    #[test]
+    fn build_round_trips_program_order_exactly() {
+        // What goes into the builder must come out of the transaction in
+        // the same order with the same operands: the rendered trace IS the
+        // program every engine executes, so any reordering or coalescing
+        // here would silently change the simulated access stream.
+        let mut b = TraceBuilder::new();
+        b.read(Address::new(0x100))
+            .compute(7)
+            .write(Address::new(0x140), 11)
+            .read(Address::new(0x100))
+            .write(Address::new(0x180), 13);
+        let tx = b.build("round-trip");
+        assert_eq!(
+            tx.ops,
+            vec![
+                TxOp::Read(Address::new(0x100)),
+                TxOp::Compute(7),
+                TxOp::Write(Address::new(0x140), 11),
+                TxOp::Read(Address::new(0x100)),
+                TxOp::Write(Address::new(0x180), 13),
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_build_sequences_are_bit_identical() {
+        let build = || {
+            let mut b = TraceBuilder::new();
+            b.lock(LockId(9))
+                .read_span(Address::new(0x2000), 3)
+                .write_line(Address::new(0x2040), 5)
+                .compute(150)
+                .lock(LockId(2));
+            b.build("det")
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.locks, b.locks);
+        assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_recorded_ops() {
+        let mut b = TraceBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        b.read_line(Address::new(0x40));
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 2, "read_line touches two words of the line");
+        // Locks do not count as operations.
+        b.lock(LockId(1));
+        assert_eq!(b.len(), 2);
+    }
 }

@@ -1,40 +1,37 @@
 //! Compare all six designs of the paper (SO, sdTM, ATOM, LogTM-ATOM, DHTM,
 //! NP) on one micro-benchmark and print throughput normalised to SO — a
-//! single-workload slice of Figure 5.
+//! single-workload slice of Figure 5, expressed as a harness matrix and
+//! sharded across a worker pool.
 //!
 //! ```text
 //! cargo run --release --example design_comparison [workload]
 //! ```
 
-use dhtm_baselines::build_engine;
-use dhtm_sim::driver::{RunLimits, Simulator};
-use dhtm_sim::machine::Machine;
+use dhtm_harness::matrix::{CommitSpec, ConfigVariant, Matrix};
+use dhtm_harness::runner::{default_jobs, run_matrix, Row};
 use dhtm_types::config::SystemConfig;
 use dhtm_types::policy::DesignKind;
-use dhtm_workloads::micro_by_name;
 
 fn main() {
     let workload_name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "hash".to_string());
-    let cfg = SystemConfig::isca18_baseline();
-    let limits = RunLimits::quick().with_target_commits(150);
 
-    let mut rows = Vec::new();
-    for design in DesignKind::ALL {
-        let mut machine = Machine::new(cfg.clone());
-        let mut engine = build_engine(design, &cfg);
-        let mut workload = micro_by_name(&workload_name, 7)
-            .unwrap_or_else(|| panic!("unknown workload {workload_name}"));
-        let result =
-            Simulator::new().run(&mut machine, engine.as_mut(), workload.as_mut(), &limits);
-        rows.push((design, result));
-    }
+    let matrix = Matrix::new()
+        .engines(DesignKind::ALL)
+        .workloads([workload_name.clone()])
+        .config(ConfigVariant::new(
+            "baseline",
+            SystemConfig::isca18_baseline(),
+        ))
+        .commits(CommitSpec::Fixed(150))
+        .seed(7);
+    let rows = run_matrix(&matrix, default_jobs());
 
     let so = rows
         .iter()
-        .find(|(d, _)| *d == DesignKind::SoftwareOnly)
-        .map(|(_, r)| r.throughput())
+        .find(|r| r.engine == "SO")
+        .map(Row::throughput)
         .expect("SO present");
 
     println!("workload: {workload_name} (throughput normalised to SO)");
@@ -42,13 +39,13 @@ fn main() {
         "{:<12} {:>10} {:>12} {:>12}",
         "design", "norm", "aborts (%)", "log bytes"
     );
-    for (design, result) in &rows {
+    for row in &rows {
         println!(
             "{:<12} {:>10.2} {:>12.1} {:>12}",
-            design.label(),
-            result.throughput() / so,
-            result.stats.abort_rate_percent(),
-            result.stats.log_bytes_written
+            row.engine,
+            row.throughput() / so,
+            row.stats.abort_rate_percent(),
+            row.stats.log_bytes_written
         );
     }
 }

@@ -1,0 +1,71 @@
+//! Golden-stats regression lattice: pinned `committed` / `total_cycles` /
+//! abort counts for every `DesignKind` on a fixed micro workload under
+//! `SystemConfig::small_test`. Engine or driver refactors that change
+//! *any* simulated outcome — scheduling order, conflict decisions, latency
+//! accounting — will trip these exact-equality checks instead of silently
+//! shifting every figure. Update the constants ONLY when a change to
+//! simulated behaviour is intended, and say so in the commit message.
+
+use dhtm_baselines::build_engine;
+use dhtm_harness::workload_by_name;
+use dhtm_sim::driver::{RunLimits, Simulator};
+use dhtm_sim::machine::Machine;
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+use dhtm_types::stats::RunStats;
+
+const GOLDEN_WORKLOAD: &str = "hash";
+const GOLDEN_SEED: u64 = 0x15CA_2018;
+const GOLDEN_COMMITS: u64 = 30;
+
+fn run_design(kind: DesignKind) -> RunStats {
+    let cfg = SystemConfig::small_test();
+    let mut machine = Machine::new(cfg.clone());
+    let mut engine = build_engine(kind, &cfg);
+    let mut workload = workload_by_name(GOLDEN_WORKLOAD, GOLDEN_SEED);
+    let limits = RunLimits::quick().with_target_commits(GOLDEN_COMMITS);
+    Simulator::new()
+        .run(&mut machine, engine.as_mut(), workload.as_mut(), &limits)
+        .stats
+}
+
+/// (design, committed, total_cycles, total_aborts)
+const GOLDEN: [(DesignKind, u64, u64, u64); 6] = [
+    (DesignKind::SoftwareOnly, 30, 666_122, 0),
+    (DesignKind::SdTm, 30, 2_163_850, 287),
+    (DesignKind::Atom, 30, 388_230, 0),
+    (DesignKind::LogTmAtom, 30, 336_492, 0),
+    (DesignKind::Dhtm, 30, 340_248, 0),
+    (DesignKind::NonPersistent, 30, 1_723_563, 286),
+];
+
+#[test]
+fn golden_stats_all_designs() {
+    let mut failures = Vec::new();
+    for (kind, committed, total_cycles, total_aborts) in GOLDEN {
+        let stats = run_design(kind);
+        if (stats.committed, stats.total_cycles, stats.total_aborts())
+            != (committed, total_cycles, total_aborts)
+        {
+            failures.push(format!(
+                "({:?}, {}, {}, {}),",
+                kind,
+                stats.committed,
+                stats.total_cycles,
+                stats.total_aborts()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden stats shifted; if the behaviour change is intended, update GOLDEN to:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_runs_are_reproducible() {
+    let a = run_design(DesignKind::Dhtm);
+    let b = run_design(DesignKind::Dhtm);
+    assert_eq!(a, b, "same seed + config must give identical stats");
+}
