@@ -80,6 +80,64 @@ impl AtomEngine {
         }
         out.done
     }
+
+    /// Aborts the transaction on `core`: the undo-logging hardware walks the
+    /// log newest-first restoring before-images in place (eager versioning
+    /// may have let dirty lines escape to the LLC or memory), the attempt's
+    /// speculative cache state is discarded, and the log space is reclaimed
+    /// under an abort marker. Without the rollback, a crash after the abort
+    /// would leave the attempt's eagerly-written data unprotected in place.
+    fn do_abort(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        now: u64,
+        reason: AbortReason,
+    ) -> StepOutcome {
+        let thread = ThreadId::from(core);
+        let tx = self.cores[core.get()].tx;
+        let mut at = now;
+        let undo_records: Vec<LogRecord> = machine
+            .mem
+            .domain()
+            .log(thread)
+            .records_for(tx)
+            .into_iter()
+            .filter(|r| matches!(r.kind, dhtm_nvm::record::RecordKind::Undo { .. }))
+            .collect();
+        for rec in undo_records.iter().rev() {
+            if let dhtm_nvm::record::RecordKind::Undo { line, data } = rec.kind {
+                machine.mem.invalidate_l1_line(core, line);
+                machine.mem.invalidate_llc_line(line);
+                machine.mem.persist_data_line(at, line, data);
+                at += machine.mem.latency().llc_hit;
+            }
+        }
+        // Discard whatever speculative state remains in the L1.
+        let written: Vec<LineAddr> = self.cores[core.get()]
+            .written_lines
+            .iter()
+            .copied()
+            .collect();
+        for line in written {
+            machine.mem.invalidate_l1_line(core, line);
+        }
+        if machine
+            .mem
+            .domain_mut()
+            .append_log(thread, LogRecord::abort(tx))
+            .is_err()
+        {
+            machine.mem.domain_mut().purge_log_tx(thread, tx);
+        }
+        machine.mem.domain_mut().reclaim_log(thread);
+        self.locks.release_all(core);
+        StepOutcome::Aborted {
+            at,
+            retry_at: at,
+            reason,
+        }
+    }
 }
 
 impl TxEngine for AtomEngine {
@@ -166,20 +224,15 @@ impl TxEngine for AtomEngine {
             let record = LogRecord::undo(tx, line, old);
             let bytes = record.size_bytes();
             let thread = ThreadId::from(core);
-            if machine
-                .mem
-                .domain_mut()
-                .log_mut(thread)
-                .append(record)
-                .is_err()
-            {
-                machine.mem.domain_mut().log_mut(thread).reclaim();
-                self.locks.release_all(core);
-                return StepOutcome::Aborted {
-                    at: done,
-                    retry_at: done,
-                    reason: AbortReason::LogOverflow,
-                };
+            if machine.mem.domain_mut().append_log(thread, record).is_err() {
+                machine.mem.domain_mut().reclaim_log(thread);
+                // The store already dirtied the line in the L1 but its undo
+                // record never became durable and the line is not yet in
+                // `written_lines` — discard it explicitly so the unprotected
+                // speculative data cannot survive the abort (the pre-image
+                // still lives in the LLC or in place).
+                machine.mem.invalidate_l1_line(core, line);
+                return self.do_abort(machine, core, done, AbortReason::LogOverflow);
             }
             let durable = machine.mem.persist_log_bytes(now, bytes);
             let c = &mut self.cores[core.get()];
@@ -199,7 +252,11 @@ impl TxEngine for AtomEngine {
 
         // Undo logging: the write set must be durable in place *before* the
         // transaction can commit and release its locks — this flush is the
-        // commit critical path that DHTM avoids.
+        // commit critical path that DHTM avoids. A written line may have
+        // been evicted from the L1 mid-transaction (eager versioning lets
+        // dirty lines escape); its latest copy then lives in the LLC and
+        // must be flushed from there — and a line absent from both caches
+        // was already written in place by the eviction chain.
         let mut flush_done = now.max(self.cores[core.get()].undo_persist_horizon);
         let written: Vec<LineAddr> = self.cores[core.get()]
             .written_lines
@@ -209,18 +266,19 @@ impl TxEngine for AtomEngine {
         for line in written {
             if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, now) {
                 flush_done = flush_done.max(done);
+            } else if let Some(done) = machine.mem.llc_writeback_line_to_memory(line, now) {
+                flush_done = flush_done.max(done);
             }
         }
         let commit_rec = LogRecord::commit(tx);
         let bytes = commit_rec.size_bytes();
-        let _ = machine.mem.domain_mut().log_mut(thread).append(commit_rec);
+        let _ = machine.mem.domain_mut().append_log(thread, commit_rec);
         let commit_done = machine.mem.persist_log_bytes(flush_done, bytes);
         let _ = machine
             .mem
             .domain_mut()
-            .log_mut(thread)
-            .append(LogRecord::complete(tx));
-        machine.mem.domain_mut().log_mut(thread).reclaim();
+            .append_log(thread, LogRecord::complete(tx));
+        machine.mem.domain_mut().reclaim_log(thread);
 
         self.locks.release_all(core);
         let release_done = commit_done + self.lock_release;

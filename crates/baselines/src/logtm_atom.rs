@@ -79,13 +79,7 @@ impl LogTmAtomEngine {
         let record = LogRecord::undo(tx, line, old);
         let bytes = record.size_bytes();
         let thread = ThreadId::from(core);
-        if machine
-            .mem
-            .domain_mut()
-            .log_mut(thread)
-            .append(record)
-            .is_err()
-        {
+        if machine.mem.domain_mut().append_log(thread, record).is_err() {
             return Err(AbortReason::LogOverflow);
         }
         let durable = machine.mem.persist_log_bytes(now, bytes);
@@ -136,10 +130,9 @@ impl LogTmAtomEngine {
         let _ = machine
             .mem
             .domain_mut()
-            .log_mut(thread)
-            .append(LogRecord::abort(tx));
-        machine.mem.domain_mut().log_mut(thread).reclaim();
-        machine.mem.domain_mut().log_mut(thread).purge_tx(tx);
+            .append_log(thread, LogRecord::abort(tx));
+        machine.mem.domain_mut().reclaim_log(thread);
+        machine.mem.domain_mut().purge_log_tx(thread, tx);
 
         self.undo_horizon[core.get()] = 0;
         self.nack_streak[core.get()] = 0;
@@ -339,14 +332,13 @@ impl TxEngine for LogTmAtomEngine {
         }
         let commit_rec = LogRecord::commit(tx);
         let bytes = commit_rec.size_bytes();
-        let _ = machine.mem.domain_mut().log_mut(thread).append(commit_rec);
+        let _ = machine.mem.domain_mut().append_log(thread, commit_rec);
         let commit_done = machine.mem.persist_log_bytes(flush_done, bytes);
         let _ = machine
             .mem
             .domain_mut()
-            .log_mut(thread)
-            .append(LogRecord::complete(tx));
-        machine.mem.domain_mut().log_mut(thread).reclaim();
+            .append_log(thread, LogRecord::complete(tx));
+        machine.mem.domain_mut().reclaim_log(thread);
 
         machine.mem.l1_mut(core).flash_clear_read_bits();
         self.states[core.get()].snapshot_stats(commit_done);

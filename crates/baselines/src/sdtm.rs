@@ -7,7 +7,7 @@
 //! doubles, which increases capacity aborts, and the log lines must be
 //! flushed to persistent memory on the commit critical path.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use dhtm_htm::rtm::RtmEngine;
 use dhtm_nvm::record::LogRecord;
@@ -15,7 +15,7 @@ use dhtm_types::addr::{Address, LineAddr};
 use dhtm_types::config::SystemConfig;
 use dhtm_types::ids::{CoreId, ThreadId, TxId};
 use dhtm_types::policy::DesignKind;
-use dhtm_types::stats::TxStats;
+use dhtm_types::stats::{AbortReason, TxStats};
 
 use dhtm_sim::engine::{StepOutcome, TxEngine};
 use dhtm_sim::locks::LockId;
@@ -32,6 +32,13 @@ struct SdTmCore {
     tx: TxId,
     logged_lines: BTreeSet<LineAddr>,
     written_lines: BTreeSet<LineAddr>,
+    /// Word values stored by the current transaction while on the fallback
+    /// path (the fallback runs write-aside: the durable log, not the cache,
+    /// carries the stores until commit).
+    fallback_values: BTreeMap<Address, u64>,
+    /// Durability horizon of the streamed fallback log records; the commit
+    /// fence waits for it.
+    fallback_log_horizon: u64,
     log_entries: u64,
     begin_now: u64,
 }
@@ -84,6 +91,8 @@ impl TxEngine for SdTmEngine {
             c.tx = machine.tx_ids.allocate();
             c.logged_lines.clear();
             c.written_lines.clear();
+            c.fallback_values.clear();
+            c.fallback_log_horizon = 0;
             c.log_entries = 0;
             c.begin_now = now;
         }
@@ -113,8 +122,52 @@ impl TxEngine for SdTmEngine {
             return data_out;
         };
         let line = addr.line();
-        let needs_log_entry = self.cores[core.get()].logged_lines.insert(line);
         self.cores[core.get()].written_lines.insert(line);
+
+        if self.htm.in_fallback(core) {
+            // Fallback path (global lock): stores are not tracked by the HTM
+            // write set, so the durability story is the plain software one —
+            // a word-granular redo record streamed to the log (the commit
+            // fence waits for its durability point), with the cache kept
+            // write-aside (clean) so an eviction can never push uncommitted
+            // data towards persistent memory.
+            self.cores[core.get()].fallback_values.insert(addr, value);
+            if let Some(entry) = machine.mem.l1_mut(core).entry_mut(line) {
+                entry.dirty = false;
+            }
+            let tx = self.cores[core.get()].tx;
+            let record = LogRecord::redo_word(tx, line, addr.word_index().get(), value);
+            let bytes = record.size_bytes();
+            let thread = ThreadId::from(core);
+            if machine.mem.domain_mut().append_log(thread, record).is_err() {
+                // The software log is full: the store's only durable copy
+                // would be this record, so the transaction must abort. Its
+                // records are purged (write-aside: nothing is in place) and
+                // the clean cached lines holding aborted values discarded.
+                machine.mem.domain_mut().purge_log_tx(thread, tx);
+                machine.mem.domain_mut().reclaim_log(thread);
+                let lines: Vec<LineAddr> = self.cores[core.get()]
+                    .fallback_values
+                    .keys()
+                    .map(|a| a.line())
+                    .chain(std::iter::once(line))
+                    .collect();
+                for l in lines {
+                    machine.mem.invalidate_l1_line(core, l);
+                }
+                return self
+                    .htm
+                    .abort_current(machine, core, at, AbortReason::LogOverflow);
+            }
+            self.cores[core.get()].log_entries += 1;
+            let setup_done = at + self.log_entry_setup;
+            let durable = machine.mem.persist_log_bytes(setup_done, bytes);
+            let c = &mut self.cores[core.get()];
+            c.fallback_log_horizon = c.fallback_log_horizon.max(durable);
+            return StepOutcome::done(setup_done);
+        }
+
+        let needs_log_entry = self.cores[core.get()].logged_lines.insert(line);
         if !needs_log_entry {
             return StepOutcome::done(at);
         }
@@ -138,34 +191,35 @@ impl TxEngine for SdTmEngine {
         // visible-and-durable; flush it synchronously.
         let thread = ThreadId::from(core);
         let tx = self.cores[core.get()].tx;
-        let mut durable = now;
+        let fallback = self.htm.in_fallback(core);
+        let mut durable = now.max(self.cores[core.get()].fallback_log_horizon);
         let written: Vec<LineAddr> = self.cores[core.get()]
             .written_lines
             .iter()
             .copied()
             .collect();
-        for line in &written {
-            let data = machine
-                .mem
-                .l1(core)
-                .entry(*line)
-                .map(|e| e.data)
-                .unwrap_or_else(|| machine.mem.domain().read_line(*line));
-            let record = LogRecord::redo(tx, *line, data);
-            let bytes = record.size_bytes();
-            if machine
-                .mem
-                .domain_mut()
-                .log_mut(thread)
-                .append(record)
-                .is_ok()
-            {
-                durable = durable.max(machine.mem.persist_log_bytes(now, bytes));
+        if !fallback {
+            // Hardware path: compose the line-granular redo entries from the
+            // resident write set. (The fallback path already streamed
+            // word-granular records synchronously at each store.)
+            for line in &written {
+                let data = machine
+                    .mem
+                    .l1(core)
+                    .entry(*line)
+                    .map(|e| e.data)
+                    .or_else(|| machine.mem.llc().entry(*line).map(|e| e.data))
+                    .unwrap_or_else(|| machine.mem.domain().read_line(*line));
+                let record = LogRecord::redo(tx, *line, data);
+                let bytes = record.size_bytes();
+                if machine.mem.domain_mut().append_log(thread, record).is_ok() {
+                    durable = durable.max(machine.mem.persist_log_bytes(now, bytes));
+                }
             }
         }
         let commit_rec = LogRecord::commit(tx);
         let bytes = commit_rec.size_bytes();
-        let _ = machine.mem.domain_mut().log_mut(thread).append(commit_rec);
+        let _ = machine.mem.domain_mut().append_log(thread, commit_rec);
         durable = durable.max(machine.mem.persist_log_bytes(durable, bytes)) + self.persist_fence;
 
         let htm_out = self.htm.commit(machine, core, durable);
@@ -173,23 +227,37 @@ impl TxEngine for SdTmEngine {
             // The HTM transaction aborted at commit (e.g. it was doomed): the
             // log entries written above belong to an uncommitted transaction
             // and are ignored by recovery; reclaim them.
-            machine.mem.domain_mut().log_mut(thread).purge_tx(tx);
+            machine.mem.domain_mut().purge_log_tx(thread, tx);
             return htm_out;
         };
 
         // Data write-back is lazy: charge bandwidth, do not wait.
         let mut completion = at;
-        for line in written {
-            if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, at) {
+        if fallback {
+            // Write-aside fallback: lines may have left the (clean) cache at
+            // any point, so each in-place image is composed from the
+            // persistent copy overlaid with the transaction's stores.
+            for line in written {
+                let done = machine.mem.persist_composed_line(
+                    core,
+                    line,
+                    &self.cores[core.get()].fallback_values,
+                    at,
+                );
                 completion = completion.max(done);
+            }
+        } else {
+            for line in written {
+                if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, at) {
+                    completion = completion.max(done);
+                }
             }
         }
         let _ = machine
             .mem
             .domain_mut()
-            .log_mut(thread)
-            .append(LogRecord::complete(tx));
-        machine.mem.domain_mut().log_mut(thread).reclaim();
+            .append_log(thread, LogRecord::complete(tx));
+        machine.mem.domain_mut().reclaim_log(thread);
         let _ = completion; // data persistence happens in the background
         StepOutcome::done(at)
     }

@@ -12,7 +12,7 @@
 //! * a durable commit record at transaction end; data write-back happens
 //!   lazily off the critical path (redo logging).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use dhtm_coherence::probe::NoConflicts;
 use dhtm_nvm::record::LogRecord;
@@ -37,6 +37,13 @@ struct SoCore {
     logged_lines: BTreeSet<LineAddr>,
     read_lines: BTreeSet<LineAddr>,
     written_lines: BTreeSet<LineAddr>,
+    /// The word values stored by the current transaction (the software
+    /// write-aside set): the source of truth for the commit write-back of
+    /// lines that have left the L1 by commit time.
+    write_values: BTreeMap<Address, u64>,
+    /// Cycle by which every asynchronously streamed log record (the
+    /// word-granular amendments) is durable; the commit fence waits for it.
+    log_persist_horizon: u64,
     loads: usize,
     stores: usize,
     log_records: usize,
@@ -126,6 +133,8 @@ impl TxEngine for SoEngine {
         c.logged_lines.clear();
         c.read_lines.clear();
         c.written_lines.clear();
+        c.write_values.clear();
+        c.log_persist_horizon = 0;
         c.loads = 0;
         c.stores = 0;
         c.log_records = 0;
@@ -159,40 +168,54 @@ impl TxEngine for SoEngine {
     ) -> StepOutcome {
         let done = Self::plain_access(machine, core, addr, true, now);
         machine.mem.write_word_in_l1(core, addr, value);
+        // Write-aside semantics (Mnemosyne): the durable redo log — not the
+        // cache — carries the transaction's stores until commit. Clearing the
+        // dirty bit means a mid-transaction eviction can never write
+        // uncommitted data in place in persistent memory; the commit
+        // write-back re-materialises any line that left the cache from the
+        // engine's write-aside set instead.
+        if let Some(entry) = machine.mem.l1_mut(core).entry_mut(addr.line()) {
+            entry.dirty = false;
+        }
         let line = addr.line();
-        let needs_log = {
+        let first_store_to_line = {
             let c = &mut self.cores[core.get()];
             c.stores += 1;
             c.written_lines.insert(line);
+            c.write_values.insert(addr, value);
             c.logged_lines.insert(line)
         };
-        if !needs_log {
-            return StepOutcome::done(done);
-        }
-        // First store to this line: compose a redo-log entry in software and
-        // flush it synchronously (streaming store + fence) — the latency is
-        // on the critical path, which is exactly the overhead hardware
-        // logging removes.
+        // Mnemosyne logs at *store* granularity: the first store to a line
+        // composes a line-sized redo entry, flushed synchronously (streaming
+        // store + fence) — that latency is on the critical path, which is
+        // exactly the overhead hardware logging removes. Every later store
+        // to the same line appends a word-granular amendment that streams to
+        // the log asynchronously; the commit fence waits for its durability
+        // point. Without the amendments the log would hold only the
+        // first-store image of each line, and a crash between the commit
+        // record and the data write-back would replay stale values.
         let tx = self.cores[core.get()].tx;
-        let data = machine
-            .mem
-            .l1(core)
-            .entry(line)
-            .map(|e| e.data)
-            .unwrap_or_default();
-        let record = LogRecord::redo(tx, line, data);
+        let record = if first_store_to_line {
+            let data = machine
+                .mem
+                .l1(core)
+                .entry(line)
+                .map(|e| e.data)
+                .unwrap_or_default();
+            LogRecord::redo(tx, line, data)
+        } else {
+            LogRecord::redo_word(tx, line, addr.word_index().get(), value)
+        };
         let bytes = record.size_bytes();
         let thread = ThreadId::from(core);
-        if machine
-            .mem
-            .domain_mut()
-            .log_mut(thread)
-            .append(record)
-            .is_err()
-        {
+        if machine.mem.domain_mut().append_log(thread, record).is_err() {
             // Software logs are sized by the runtime; model an overflow as a
             // transaction failure that retries after the log is reclaimed.
-            machine.mem.domain_mut().log_mut(thread).reclaim();
+            // The attempt's own records are purged (write-aside: nothing was
+            // written in place, so dropping them is safe) — otherwise dead
+            // uncommitted records would occupy log space forever.
+            machine.mem.domain_mut().purge_log_tx(thread, tx);
+            machine.mem.domain_mut().reclaim_log(thread);
             self.locks.release_all(core);
             self.cores[core.get()].active = false;
             return StepOutcome::Aborted {
@@ -203,24 +226,36 @@ impl TxEngine for SoEngine {
         }
         self.cores[core.get()].log_records += 1;
         let setup_done = done + self.log_entry_setup;
-        let durable = machine.mem.persist_log_bytes(setup_done, bytes) + self.persist_fence;
-        StepOutcome::done(durable)
+        let durable = machine.mem.persist_log_bytes(setup_done, bytes);
+        if first_store_to_line {
+            StepOutcome::done(durable + self.persist_fence)
+        } else {
+            let c = &mut self.cores[core.get()];
+            c.log_persist_horizon = c.log_persist_horizon.max(durable);
+            StepOutcome::done(setup_done)
+        }
     }
 
     fn commit(&mut self, machine: &mut Machine, core: CoreId, now: u64) -> StepOutcome {
         let thread = ThreadId::from(core);
         let tx = self.cores[core.get()].tx;
-        // Durable commit record, then the transaction is committed.
+        // The commit fence first waits for every streamed amendment record,
+        // then the commit record itself is made durable.
+        let log_horizon = now.max(self.cores[core.get()].log_persist_horizon);
         let commit_rec = LogRecord::commit(tx);
         let bytes = commit_rec.size_bytes();
-        let _ = machine.mem.domain_mut().log_mut(thread).append(commit_rec);
+        let _ = machine.mem.domain_mut().append_log(thread, commit_rec);
         let commit_done = machine
             .mem
-            .persist_log_bytes(now + self.log_entry_setup, bytes)
+            .persist_log_bytes(log_horizon + self.log_entry_setup, bytes)
             + self.persist_fence;
 
         // Data write-back is lazy (redo logging): charge the bandwidth but do
-        // not wait for it before releasing the locks.
+        // not wait for it before releasing the locks. Because the cache runs
+        // write-aside (lines are never dirty mid-transaction), each line's
+        // in-place image is composed from the persistent copy overlaid with
+        // the transaction's write-aside values — the cache copy may have been
+        // evicted (and discarded) at any point.
         let written: Vec<LineAddr> = self.cores[core.get()]
             .written_lines
             .iter()
@@ -228,19 +263,19 @@ impl TxEngine for SoEngine {
             .collect();
         let mut completion = commit_done;
         for line in written {
-            if let Some(done) = machine
-                .mem
-                .l1_writeback_line_to_memory(core, line, commit_done)
-            {
-                completion = completion.max(done);
-            }
+            let done = machine.mem.persist_composed_line(
+                core,
+                line,
+                &self.cores[core.get()].write_values,
+                commit_done,
+            );
+            completion = completion.max(done);
         }
         let _ = machine
             .mem
             .domain_mut()
-            .log_mut(thread)
-            .append(LogRecord::complete(tx));
-        machine.mem.domain_mut().log_mut(thread).reclaim();
+            .append_log(thread, LogRecord::complete(tx));
+        machine.mem.domain_mut().reclaim_log(thread);
 
         self.locks.release_all(core);
         let release_done = commit_done + self.lock_release;
@@ -323,12 +358,45 @@ mod tests {
         };
         // The store completes only after the NVM write latency (the flush).
         assert!(at >= 10 + m.mem.latency().nvm_write);
-        // A second store to the same line coalesces: no new flush.
+        // A second store to the same line streams a word-granular amendment
+        // asynchronously: the store itself does not pay the NVM latency...
         let out2 = e.write(&mut m, c(0), Address::new(0x3008), 2, at);
         let StepOutcome::Done { at: at2 } = out2 else {
             panic!()
         };
         assert!(at2 - at < m.mem.latency().nvm_write);
+        // ...but the commit fence does wait for the amendment's durability.
+        let horizon = e.cores[0].log_persist_horizon;
+        assert!(horizon >= at + m.mem.latency().nvm_write);
+        let StepOutcome::Done { at: commit_at } = e.commit(&mut m, c(0), at2) else {
+            panic!()
+        };
+        assert!(commit_at > horizon);
+    }
+
+    #[test]
+    fn repeated_stores_are_recoverable_from_the_log_alone() {
+        // The crash window that matters for redo logging: the commit record
+        // is durable but the data write-back has not happened. Model it by
+        // replaying the log onto a snapshot taken *before* commit wrote the
+        // data back, with the commit marker grafted in — the recovered values
+        // must be the final stored values, not the first-store image.
+        let (mut m, mut e) = setup();
+        let a = Address::new(0x3000);
+        let b = Address::new(0x3008); // same line, different word
+        e.begin(&mut m, c(0), &[LockId(1)], 0);
+        e.write(&mut m, c(0), a, 11, 10);
+        e.write(&mut m, c(0), b, 22, 2000);
+        e.write(&mut m, c(0), a, 33, 4000); // overwrites the first store
+        let tx = e.cores[0].tx;
+        let mut crashed = m.mem.domain().crash_snapshot();
+        crashed
+            .log_mut(ThreadId::new(0))
+            .append(LogRecord::commit(tx))
+            .unwrap();
+        RecoveryManager::new().recover(&mut crashed).unwrap();
+        assert_eq!(crashed.memory().read_word(a), 33);
+        assert_eq!(crashed.memory().read_word(b), 22);
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! Crash-injection & recovery-validation matrix: sweeps injected crash
+//! points across every design × workload cell and checks the recovery
+//! oracles (the end-to-end proof of the paper's durability claim).
+//! Runs the `recovery` harness experiment; accepts `--jobs N`,
+//! `--crash-points N`, `--crash-at CYCLE`, `--format table|json|csv`,
+//! `--out PATH`.
+
+fn main() {
+    dhtm_harness::experiments::run_cli("recovery");
+}

@@ -44,4 +44,5 @@ bin_smoke_tests! {
     table6_oltp_runs => "table6_oltp",
     table7_bandwidth_runs => "table7_bandwidth",
     ablation_instant_writes_runs => "ablation_instant_writes",
+    crash_matrix_runs => "crash_matrix",
 }

@@ -127,6 +127,10 @@ pub struct MemorySystem {
     channel: MemoryChannel,
     latency: LatencyConfig,
     stats: MemStats,
+    /// Per-core flag raised when an LLC eviction discarded a speculative
+    /// overflowed line owned by that core's thread (see
+    /// [`MemorySystem::take_speculative_loss`]).
+    speculative_loss: Vec<bool>,
 }
 
 impl MemorySystem {
@@ -143,7 +147,17 @@ impl MemorySystem {
             channel: MemoryChannel::new(cfg.bytes_per_cycle()),
             latency: cfg.latency,
             stats: MemStats::default(),
+            speculative_loss: vec![false; cfg.num_cores],
         }
+    }
+
+    /// Consumes and returns `core`'s speculative-loss flag: `true` means an
+    /// LLC eviction discarded an overflowed write-set line of the in-flight
+    /// transaction on that core, whose speculative data is now gone — the
+    /// transaction can no longer commit and must abort (the write set
+    /// exceeded what the LLC could retain).
+    pub fn take_speculative_loss(&mut self, core: CoreId) -> bool {
+        std::mem::take(&mut self.speculative_loss[core.get()])
     }
 
     /// Number of cores/L1s.
@@ -302,6 +316,19 @@ impl MemorySystem {
             }
         }
         if entry.dirty {
+            // A dirty line recorded in an overflow list holds *speculative*
+            // data of an in-flight redo-logged transaction (DHTM's L1→LLC
+            // write-set overflow). Writing it in place would put uncommitted
+            // data in persistent memory, which redo logging forbids — the
+            // copy is discarded instead, and the owning transaction is
+            // flagged to abort (write set exceeded what the LLC could
+            // retain).
+            if let Some(owner) = self.domain.speculative_overflow_owner(line) {
+                if owner.get() < self.speculative_loss.len() {
+                    self.speculative_loss[owner.get()] = true;
+                }
+                return;
+            }
             self.stats.data_writeback_bytes += LINE_SIZE as u64;
             self.stats.nvm_line_writes += 1;
             self.domain.write_line(line, entry.data);
@@ -402,17 +429,23 @@ impl MemorySystem {
                             return AccessOutcome::cancelled(now + latency, false);
                         }
                         ProbeDecision::Proceed | ProbeDecision::AbortHolder => {
-                            if decision == ProbeDecision::AbortHolder {
+                            let holder_aborts = decision == ProbeDecision::AbortHolder;
+                            if holder_aborts {
                                 self.stats.conflicts += 1;
                                 outcome_holders.push(owner);
                             }
                             latency += self.latency.coherence_hop;
                             done = done.max(now + latency);
                             // The owner (if it still has the line) supplies
-                            // the data and downgrades to Shared.
+                            // the data and downgrades to Shared — unless the
+                            // owner is being *aborted*: its dirty copy is
+                            // speculative state that the abort discards, so
+                            // it must never reach the LLC (and from there,
+                            // persistent memory). The requester then reads
+                            // the pre-transactional LLC/memory copy.
                             if let Some(owner_entry) = self.l1s[owner.get()].entry_mut(line) {
                                 let owner_data = owner_entry.data;
-                                let owner_dirty = owner_entry.dirty;
+                                let owner_dirty = owner_entry.dirty && !holder_aborts;
                                 owner_entry.state = MesiState::Shared;
                                 owner_entry.dirty = false;
                                 let e = self.llc.entry_mut(line).expect("present");
@@ -547,13 +580,17 @@ impl MemorySystem {
             done = done.max(now + latency);
         }
         for (holder, decision) in decisions {
-            if decision == ProbeDecision::AbortHolder {
+            let holder_aborts = decision == ProbeDecision::AbortHolder;
+            if holder_aborts {
                 self.stats.conflicts += 1;
                 holders_to_abort.push(holder);
             }
             if let Some(holder_entry) = self.l1s[holder.get()].invalidate(line) {
-                // A dirty remote copy supplies the latest data.
-                if holder_entry.dirty {
+                // A dirty remote copy supplies the latest data — unless the
+                // holder is being aborted: its dirty copy is speculative
+                // state the abort discards, and forwarding it would let
+                // uncommitted data reach the LLC (and persistent memory).
+                if holder_entry.dirty && !holder_aborts {
                     let e = self.llc.entry_mut(line).expect("present");
                     e.data = holder_entry.data;
                     e.dirty = true;
@@ -681,6 +718,39 @@ impl MemorySystem {
             e.dirty = false;
         }
         Some(self.persist_data_line(now, line, data))
+    }
+
+    /// Composes the in-place image of `line` from the current persistent
+    /// copy overlaid with the word values in `values` (word address →
+    /// value), refreshes any cached copies (left clean), and persists the
+    /// composed line. This is the write-aside commit path shared by SO and
+    /// the sdTM/DHTM fallbacks: the durable log carried the stores, the
+    /// cache was kept clean, so the line may have left the hierarchy at any
+    /// point and must be re-materialised from the engine's write-aside set.
+    /// Returns the durability point.
+    pub fn persist_composed_line(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        values: &std::collections::BTreeMap<Address, u64>,
+        now: u64,
+    ) -> u64 {
+        let mut data = self.domain.read_line(line);
+        for (w, slot) in data.iter_mut().enumerate() {
+            let addr = line.word_address(dhtm_types::addr::WordIndex::new(w));
+            if let Some(&v) = values.get(&addr) {
+                *slot = v;
+            }
+        }
+        if let Some(e) = self.l1s[core.get()].entry_mut(line) {
+            e.data = data;
+            e.dirty = false;
+        }
+        if let Some(e) = self.llc.entry_mut(line) {
+            e.data = data;
+            e.dirty = false;
+        }
+        self.persist_data_line(now, line, data)
     }
 
     /// Write-back of an overflowed line from the LLC in place to persistent

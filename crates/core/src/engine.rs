@@ -56,6 +56,12 @@ pub struct DhtmEngine {
     max_retries: usize,
     fallback_lock: LockTable,
     in_fallback: Vec<bool>,
+    /// Word values stored by each core's current *fallback* transaction.
+    /// The fallback runs write-aside — the durable log, not the cache,
+    /// carries the stores — so it needs no L1/LLC retention of its write
+    /// set and is guaranteed to make progress where the HTM cannot
+    /// (including write sets the LLC geometry cannot hold).
+    fallback_values: Vec<std::collections::BTreeMap<Address, u64>>,
     fallback_commits: u64,
 }
 
@@ -77,6 +83,7 @@ impl DhtmEngine {
             max_retries: cfg.max_htm_retries,
             fallback_lock: LockTable::new(),
             in_fallback: Vec::new(),
+            fallback_values: Vec::new(),
             fallback_commits: 0,
         }
     }
@@ -107,13 +114,7 @@ impl DhtmEngine {
     ) -> Option<u64> {
         let thread = ThreadId::from(core);
         let bytes = record.size_bytes();
-        if machine
-            .mem
-            .domain_mut()
-            .log_mut(thread)
-            .append(record)
-            .is_err()
-        {
+        if machine.mem.domain_mut().append_log(thread, record).is_err() {
             return None;
         }
         let durable_at = machine.mem.persist_log_bytes(now, bytes);
@@ -157,9 +158,21 @@ impl DhtmEngine {
     ) -> StepOutcome {
         let thread = ThreadId::from(core);
         let tx = self.states[core.get()].tx;
+        // Consume any pending speculative-loss flag: it belongs to the
+        // transaction being aborted, not to the core's next one.
+        let _ = machine.mem.take_speculative_loss(core);
         if self.in_fallback[core.get()] {
             self.fallback_lock.release_all(core);
             self.in_fallback[core.get()] = false;
+            // Write-aside fallback lines are clean but hold the aborted
+            // values; discard them so neither later reads nor later log
+            // records can observe them.
+            let values = std::mem::take(&mut self.fallback_values[core.get()]);
+            let mut lines: Vec<LineAddr> = values.keys().map(|a| a.line()).collect();
+            lines.dedup();
+            for line in lines {
+                machine.mem.invalidate_l1_line(core, line);
+            }
         }
         // Discard pending log-buffer entries and logically clear the log by
         // writing an abort record; if the log is full, purge the records of
@@ -171,9 +184,9 @@ impl DhtmEngine {
             .append_record(machine, core, abort_marker, now)
             .is_none()
         {
-            machine.mem.domain_mut().log_mut(thread).purge_tx(tx);
+            machine.mem.domain_mut().purge_log_tx(thread, tx);
         }
-        machine.mem.domain_mut().log_mut(thread).reclaim();
+        machine.mem.domain_mut().reclaim_log(thread);
 
         // Invalidate the resident write set.
         let invalidated = machine.mem.l1_mut(core).flash_invalidate_write_set();
@@ -192,11 +205,7 @@ impl DhtmEngine {
             machine.mem.invalidate_llc_line(line);
             completion += machine.mem.latency().llc_hit;
         }
-        machine
-            .mem
-            .domain_mut()
-            .overflow_list_mut(thread)
-            .clear_tx(tx);
+        machine.mem.domain_mut().clear_overflow_tx(thread, tx);
 
         if self.options.instant_writes {
             completion = at;
@@ -246,8 +255,7 @@ impl DhtmEngine {
             if machine
                 .mem
                 .domain_mut()
-                .overflow_list_mut(thread)
-                .append(tx, line)
+                .append_overflow(thread, tx, line)
                 .is_err()
             {
                 return Some(AbortReason::LogOverflow);
@@ -303,6 +311,7 @@ impl TxEngine for DhtmEngine {
             .map(|_| RedoLogger::new(self.log_buffer_entries, self.options.word_granular_logging))
             .collect();
         self.in_fallback = vec![false; n];
+        self.fallback_values = vec![std::collections::BTreeMap::new(); n];
         self.fallback_lock = LockTable::new();
         self.fallback_commits = 0;
     }
@@ -332,6 +341,7 @@ impl TxEngine for DhtmEngine {
         let tx = machine.tx_ids.allocate();
         self.states[core.get()].begin(tx, start);
         self.loggers[core.get()].reset();
+        self.fallback_values[core.get()].clear();
         StepOutcome::done(start + TX_BOOKKEEPING)
     }
 
@@ -344,6 +354,12 @@ impl TxEngine for DhtmEngine {
     ) -> StepOutcome {
         if let Some(reason) = self.states[core.get()].doomed {
             return self.do_abort(machine, core, now, reason);
+        }
+        if machine.mem.take_speculative_loss(core) {
+            // An LLC eviction discarded one of this transaction's overflowed
+            // write-set lines: the speculative data is gone, so the
+            // transaction cannot commit (capacity, Section III-C limit).
+            return self.do_abort(machine, core, now, AbortReason::Capacity);
         }
         let line = addr.line();
         let transactional = !self.in_fallback[core.get()];
@@ -391,6 +407,12 @@ impl TxEngine for DhtmEngine {
         if let Some(reason) = self.states[core.get()].doomed {
             return self.do_abort(machine, core, now, reason);
         }
+        if machine.mem.take_speculative_loss(core) {
+            // An LLC eviction discarded one of this transaction's overflowed
+            // write-set lines: the speculative data is gone, so the
+            // transaction cannot commit (capacity, Section III-C limit).
+            return self.do_abort(machine, core, now, AbortReason::Capacity);
+        }
         let line = addr.line();
         let transactional = !self.in_fallback[core.get()];
         let cfg = self.arbiter_config();
@@ -437,21 +459,22 @@ impl TxEngine for DhtmEngine {
                 }
             }
         } else {
-            // Fallback path: durable via synchronous, Mnemosyne-like logging.
-            // The write set is still tracked (write bit + shadow set) so that
-            // commit can flush the data in place before declaring the
-            // transaction complete.
+            // Fallback path: durable via synchronous, Mnemosyne-like logging,
+            // run *write-aside* — the durable log carries the stores and the
+            // cache stays clean, so no L1/LLC retention of the write set is
+            // needed and an eviction can never leak uncommitted data. This is
+            // what guarantees fallback progress for write sets the cache
+            // geometry cannot hold (the HTM path would capacity-abort
+            // forever).
             let tx = self.states[core.get()].tx;
             let rec = LogRecord::redo_word(tx, line, addr.word_index().get(), value);
             let Some(durable) = self.append_record(machine, core, rec, now) else {
                 return self.do_abort(machine, core, out.done, AbortReason::LogOverflow);
             };
-            machine
-                .mem
-                .l1_mut(core)
-                .entry_mut(line)
-                .expect("filled")
-                .write_bit = true;
+            if let Some(entry) = machine.mem.l1_mut(core).entry_mut(line) {
+                entry.dirty = false;
+            }
+            self.fallback_values[core.get()].insert(addr, value);
             self.states[core.get()].record_store(line);
             return StepOutcome::done(durable.max(out.done));
         }
@@ -461,6 +484,12 @@ impl TxEngine for DhtmEngine {
     fn commit(&mut self, machine: &mut Machine, core: CoreId, now: u64) -> StepOutcome {
         if let Some(reason) = self.states[core.get()].doomed {
             return self.do_abort(machine, core, now, reason);
+        }
+        if machine.mem.take_speculative_loss(core) {
+            // An LLC eviction discarded one of this transaction's overflowed
+            // write-set lines: the speculative data is gone, so the
+            // transaction cannot commit (capacity, Section III-C limit).
+            return self.do_abort(machine, core, now, AbortReason::Capacity);
         }
         let thread = ThreadId::from(core);
         let tx = self.states[core.get()].tx;
@@ -523,6 +552,20 @@ impl TxEngine for DhtmEngine {
                 completion = completion.max(done);
             }
         }
+        if self.in_fallback[core.get()] {
+            // Write-aside fallback: the cache was kept clean, so each line's
+            // in-place image is composed from the persistent copy overlaid
+            // with the transaction's stores.
+            let values = std::mem::take(&mut self.fallback_values[core.get()]);
+            let mut lines: Vec<LineAddr> = values.keys().map(|a| a.line()).collect();
+            lines.dedup();
+            for line in lines {
+                let done = machine
+                    .mem
+                    .persist_composed_line(core, line, &values, commit_at);
+                completion = completion.max(done);
+            }
+        }
         if self
             .append_record(machine, core, LogRecord::complete(tx), commit_at)
             .is_none()
@@ -530,12 +573,8 @@ impl TxEngine for DhtmEngine {
             // The complete record is an optimisation, not a correctness
             // requirement (Section III-B); ignore the failure.
         }
-        machine
-            .mem
-            .domain_mut()
-            .overflow_list_mut(thread)
-            .clear_tx(tx);
-        machine.mem.domain_mut().log_mut(thread).reclaim();
+        machine.mem.domain_mut().clear_overflow_tx(thread, tx);
+        machine.mem.domain_mut().reclaim_log(thread);
 
         if self.options.instant_writes {
             completion = commit_at;

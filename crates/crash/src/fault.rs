@@ -1,0 +1,150 @@
+//! Fault injection into crash images: the negative controls that prove the
+//! oracles can actually detect broken recovery.
+//!
+//! A validation harness that never fails is indistinguishable from one that
+//! checks nothing. These faults deliberately corrupt a captured crash image
+//! in ways a buggy logging implementation (or physical bit-rot) could, and
+//! the acceptance tests assert that the recovery auditor *rejects* the
+//! corrupted image.
+
+use dhtm_nvm::domain::PersistentDomain;
+use dhtm_nvm::record::RecordKind;
+use dhtm_types::ids::{ThreadId, TxId};
+
+/// A deliberate corruption of the durable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Flip bits in the payload of a redo record belonging to a
+    /// committed-but-incomplete transaction (models a torn/corrupted log
+    /// write): replay then installs a wrong after-image.
+    FlipRedoPayload,
+    /// Drop the commit marker of a committed-but-incomplete transaction
+    /// (models a commit record that never became durable): replay then
+    /// silently skips the transaction and its updates are lost.
+    DropCommitMarker,
+}
+
+/// Transactions in `thread`'s log that recovery would replay: committed,
+/// not complete, with at least one redo record.
+fn replayable_txs(domain: &PersistentDomain, thread: ThreadId) -> Vec<TxId> {
+    let log = domain.log(thread);
+    log.transactions()
+        .into_iter()
+        .filter(|&tx| {
+            log.is_committed(tx)
+                && !log.is_complete(tx)
+                && log
+                    .records_for(tx)
+                    .iter()
+                    .any(|r| matches!(r.kind, RecordKind::Redo { .. }))
+        })
+        .collect()
+}
+
+/// Whether `domain` contains a transaction the given fault can target.
+pub fn has_target(domain: &PersistentDomain) -> bool {
+    (0..domain.threads()).any(|t| !replayable_txs(domain, ThreadId::new(t)).is_empty())
+}
+
+/// Injects `fault` into `domain`, returning `true` if a target was found
+/// and corrupted. The domain is mutated in place.
+pub fn inject(domain: &mut PersistentDomain, fault: Fault) -> bool {
+    for t in 0..domain.threads() {
+        let thread = ThreadId::new(t);
+        let Some(&tx) = replayable_txs(domain, thread).first() else {
+            continue;
+        };
+        match fault {
+            Fault::FlipRedoPayload => {
+                // Flip the *last* redo record of the transaction: replay
+                // applies records in log order, so corrupting an early
+                // record that a later re-log of the same line supersedes
+                // would be masked.
+                let target = domain
+                    .log(thread)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.tx == tx && matches!(r.kind, RecordKind::Redo { .. }))
+                    .map(|(i, _)| i)
+                    .last();
+                if let Some(idx) = target {
+                    for (i, rec) in domain.log_mut(thread).records_mut().enumerate() {
+                        if i == idx {
+                            if let RecordKind::Redo { line, mut data } = rec.kind {
+                                data[0] ^= 0xDEAD_BEEF_0BAD_F00D;
+                                rec.kind = RecordKind::Redo { line, data };
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+            Fault::DropCommitMarker => {
+                let dropped = domain
+                    .log_mut(thread)
+                    .retain_records(|r| !(r.tx == tx && matches!(r.kind, RecordKind::Commit)));
+                return dropped > 0;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtm_nvm::record::LogRecord;
+    use dhtm_types::addr::LineAddr;
+
+    fn domain_with_replayable_tx() -> PersistentDomain {
+        let mut d = PersistentDomain::new(1, 64, 16);
+        let t0 = ThreadId::new(0);
+        let tx = TxId::new(1);
+        d.log_mut(t0)
+            .append(LogRecord::redo(tx, LineAddr::new(5), [7; 8]))
+            .unwrap();
+        d.log_mut(t0).append(LogRecord::commit(tx)).unwrap();
+        d
+    }
+
+    #[test]
+    fn flip_redo_payload_changes_replayed_value() {
+        let mut d = domain_with_replayable_tx();
+        assert!(has_target(&d));
+        assert!(inject(&mut d, Fault::FlipRedoPayload));
+        let mut recovered = d.crash_snapshot();
+        dhtm_nvm::recovery::RecoveryManager::new()
+            .recover(&mut recovered)
+            .unwrap();
+        assert_ne!(recovered.read_line(LineAddr::new(5)), [7; 8]);
+    }
+
+    #[test]
+    fn drop_commit_marker_loses_the_transaction() {
+        let mut d = domain_with_replayable_tx();
+        assert!(inject(&mut d, Fault::DropCommitMarker));
+        let mut recovered = d.crash_snapshot();
+        let report = dhtm_nvm::recovery::RecoveryManager::new()
+            .recover(&mut recovered)
+            .unwrap();
+        assert_eq!(report.replayed_transactions, 0);
+        assert_eq!(recovered.read_line(LineAddr::new(5)), [0; 8]);
+    }
+
+    #[test]
+    fn injection_without_target_reports_false() {
+        let mut d = PersistentDomain::new(1, 16, 16);
+        assert!(!has_target(&d));
+        assert!(!inject(&mut d, Fault::FlipRedoPayload));
+        assert!(!inject(&mut d, Fault::DropCommitMarker));
+    }
+
+    #[test]
+    fn complete_transactions_are_not_targets() {
+        let mut d = domain_with_replayable_tx();
+        d.log_mut(ThreadId::new(0))
+            .append(LogRecord::complete(TxId::new(1)))
+            .unwrap();
+        assert!(!has_target(&d));
+    }
+}

@@ -1,0 +1,109 @@
+//! Acceptance test for the crash-injection subsystem: the full crash matrix
+//! — all six designs × two workloads × (8 stratified + adversarial) crash
+//! points — passes every recovery oracle deterministically for a fixed
+//! seed, and a deliberately corrupted log is detected as an oracle failure
+//! (negative control).
+
+use dhtm_crash::{negative_control, CrashMatrix};
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+
+fn acceptance_matrix() -> CrashMatrix {
+    let mut m = CrashMatrix::new(
+        &DesignKind::ALL,
+        ["hash", "queue"],
+        SystemConfig::small_test(),
+    );
+    m.config_name = "small".to_string();
+    m.commits = 12;
+    m.seed = 0x15CA_2018;
+    m.stratified = 8;
+    m.adversarial = 6;
+    m
+}
+
+#[test]
+fn full_matrix_passes_all_recovery_oracles() {
+    let matrix = acceptance_matrix();
+    let reports = matrix.run(4);
+    assert_eq!(reports.len(), 6 * 2);
+    for report in &reports {
+        let failures: Vec<_> = report
+            .verdicts
+            .iter()
+            .filter(|v| !v.outcome.passed)
+            .map(|v| (v.outcome.point, v.outcome.violations.clone()))
+            .collect();
+        assert!(
+            failures.is_empty(),
+            "{} / {} failed oracles at {:?}",
+            report.cell.design,
+            report.cell.workload,
+            failures
+        );
+        assert!(
+            report.counters().crash_points >= 8,
+            "{} / {}: expected >= 8 crash points, got {}",
+            report.cell.design,
+            report.cell.workload,
+            report.counters().crash_points
+        );
+    }
+    // The matrix exercises both recovery mechanisms: redo replay (SO, sdTM,
+    // DHTM) and undo rollback (ATOM, LogTM-ATOM).
+    let replayed: u64 = reports
+        .iter()
+        .map(|r| r.counters().replayed_transactions)
+        .sum();
+    let rolled_back: u64 = reports
+        .iter()
+        .map(|r| r.counters().rolled_back_transactions)
+        .sum();
+    assert!(replayed > 0, "no crash point exercised redo replay");
+    assert!(rolled_back > 0, "no crash point exercised undo rollback");
+    // Mid-commit crashes were injected and resolved.
+    let ambiguous = reports
+        .iter()
+        .flat_map(|r| &r.verdicts)
+        .filter(|v| v.outcome.ambiguous)
+        .count();
+    assert!(ambiguous > 0, "no mid-commit crash point was injected");
+}
+
+#[test]
+fn matrix_is_deterministic_for_a_fixed_seed() {
+    let matrix = acceptance_matrix();
+    let a = matrix.run(2);
+    let b = matrix.run(4);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.total_mutations, y.total_mutations);
+        assert_eq!(x.counters(), y.counters());
+        assert_eq!(x.verdicts.len(), y.verdicts.len());
+        for (vx, vy) in x.verdicts.iter().zip(y.verdicts.iter()) {
+            assert_eq!(vx.outcome.point, vy.outcome.point);
+            assert_eq!(vx.outcome.passed, vy.outcome.passed);
+            assert_eq!(vx.outcome.committed_before, vy.outcome.committed_before);
+        }
+    }
+}
+
+#[test]
+fn corrupted_log_negative_control_is_detected() {
+    let matrix = acceptance_matrix();
+    let cell = matrix
+        .cells()
+        .into_iter()
+        .find(|c| c.design == DesignKind::Dhtm && c.workload == "hash")
+        .expect("DHTM/hash cell exists");
+    let control = negative_control(&cell).expect("DHTM exposes a replayable crash window");
+    assert!(control.clean_passed, "uncorrupted image must pass");
+    assert!(
+        control.flip_detected,
+        "flipped redo payload must fail the oracles"
+    );
+    assert!(
+        control.drop_detected,
+        "dropped commit marker must fail the oracles at some candidate point"
+    );
+    assert!(control.detected());
+}

@@ -19,6 +19,11 @@ pub struct HarnessOpts {
     pub out: Option<PathBuf>,
     /// Which experiment to run (suite binary only; `all` runs everything).
     pub experiment: Option<String>,
+    /// Stratified crash points per cell for the `recovery` experiment
+    /// (`None` = the experiment's default of 8).
+    pub crash_points: Option<usize>,
+    /// Extra cycle-denominated crash points for the `recovery` experiment.
+    pub crash_at: Vec<u64>,
 }
 
 impl Default for HarnessOpts {
@@ -28,6 +33,8 @@ impl Default for HarnessOpts {
             format: OutputFormat::Table,
             out: None,
             experiment: None,
+            crash_points: None,
+            crash_at: Vec::new(),
         }
     }
 }
@@ -38,6 +45,8 @@ pub const USAGE: &str = "options:
   --format FMT         table (default) | json | csv; json/csv adds a machine-readable dump
   --out PATH           write the json/csv dump to PATH instead of stdout
   --experiment NAME    (suite runner only) experiment to run, or 'all'
+  --crash-points N     (recovery experiment) stratified crash points per cell (default 8)
+  --crash-at CYCLE     (recovery experiment) add a crash at the given cycle; repeatable
   --help               print this help";
 
 impl HarnessOpts {
@@ -75,6 +84,20 @@ impl HarnessOpts {
                 }
                 "--experiment" | "-e" => {
                     opts.experiment = Some(value_for("--experiment")?);
+                }
+                "--crash-points" => {
+                    let v = value_for("--crash-points")?;
+                    opts.crash_points =
+                        Some(v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--crash-points needs a positive integer, got '{v}'")
+                        })?);
+                }
+                "--crash-at" => {
+                    let v = value_for("--crash-at")?;
+                    opts.crash_at.push(
+                        v.parse::<u64>()
+                            .map_err(|_| format!("--crash-at needs a cycle number, got '{v}'"))?,
+                    );
                 }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -128,12 +151,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_crash_flags() {
+        let opts = HarnessOpts::parse([
+            "--crash-points",
+            "12",
+            "--crash-at",
+            "5000",
+            "--crash-at",
+            "9000",
+        ])
+        .unwrap();
+        assert_eq!(opts.crash_points, Some(12));
+        assert_eq!(opts.crash_at, vec![5000, 9000]);
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(HarnessOpts::parse(["--jobs", "0"]).is_err());
         assert!(HarnessOpts::parse(["--jobs", "abc"]).is_err());
         assert!(HarnessOpts::parse(["--format", "yaml"]).is_err());
         assert!(HarnessOpts::parse(["--out"]).is_err());
         assert!(HarnessOpts::parse(["--wat"]).is_err());
+        assert!(HarnessOpts::parse(["--crash-points", "0"]).is_err());
+        assert!(HarnessOpts::parse(["--crash-at", "soon"]).is_err());
     }
 
     #[test]

@@ -95,6 +95,11 @@ pub const ALL: &[Experiment] = &[
         title: "Beyond the paper: core-count scaling on small/default/large machines",
         run: scaling,
     },
+    Experiment {
+        name: "recovery",
+        title: "Crash matrix: injected crashes + recovery-oracle validation for every design",
+        run: recovery,
+    },
 ];
 
 /// Looks up an experiment by registry name.
@@ -554,6 +559,100 @@ fn scaling(opts: &HarnessOpts) -> ExperimentResult {
 }
 
 // ---------------------------------------------------------------------------
+// Crash matrix (recovery-oracle validation)
+// ---------------------------------------------------------------------------
+
+fn recovery(opts: &HarnessOpts) -> ExperimentResult {
+    use dhtm_crash::{negative_control, CrashMatrix};
+
+    let workloads = ["hash", "queue"];
+    let mut matrix = CrashMatrix::new(&DesignKind::ALL, workloads, experiment_config());
+    matrix.config_name = if quick_mode() { "small" } else { "default" }.to_string();
+    matrix.commits = if quick_mode() { 12 } else { 64 };
+    matrix.seed = crate::EXPERIMENT_SEED;
+    matrix.stratified = opts.crash_points.unwrap_or(8);
+    matrix.adversarial = matrix.stratified.div_ceil(2).max(3);
+    matrix.at_cycles = opts.crash_at.clone();
+
+    let reports = matrix.run(opts.jobs);
+    let mut rows: Vec<Row> = reports
+        .iter()
+        .map(|r| Row {
+            experiment: "recovery".to_string(),
+            engine: r.cell.design.label().to_string(),
+            workload: r.cell.workload.clone(),
+            cores: r.cell.config.num_cores,
+            config: r.cell.config_name.clone(),
+            seed: r.cell.seed,
+            target_commits: r.cell.commits,
+            stats: r.stats.clone(),
+        })
+        .collect();
+
+    // Fault-injected negative control on DHTM (the design with the richest
+    // commit window): the oracles must *reject* a corrupted log. Its result
+    // is emitted as an extra row whose `oracle_failures` counts each fault
+    // class the oracles failed to detect, so the CI gate on the JSON dump
+    // covers the control as well as the cells.
+    let control_cell = matrix
+        .cells()
+        .into_iter()
+        .find(|c| c.design == DesignKind::Dhtm);
+    let control = control_cell.as_ref().and_then(negative_control);
+    if let Some(cell) = &control_cell {
+        let mut stats = dhtm_types::stats::RunStats::new();
+        stats.recovery.crash_points = 1;
+        stats.recovery.oracle_failures = match &control {
+            Some(c) => {
+                u64::from(!c.clean_passed)
+                    + u64::from(!c.flip_detected)
+                    + u64::from(!c.drop_detected)
+            }
+            // No replayable window at all means the control could not run —
+            // itself a failure of the harness.
+            None => 1,
+        };
+        rows.push(Row {
+            experiment: "recovery".to_string(),
+            engine: cell.design.label().to_string(),
+            workload: cell.workload.clone(),
+            cores: cell.config.num_cores,
+            config: "negative-control".to_string(),
+            seed: cell.seed,
+            target_commits: cell.commits,
+            stats,
+        });
+    }
+
+    let mut lines = vec![
+        "# Crash matrix: recovery oracles per design × workload".to_string(),
+        format!(
+            "# {} stratified + {} adversarial crash points per cell on the durable-mutation clock",
+            matrix.stratified, matrix.adversarial
+        ),
+    ];
+    lines.extend(dhtm_crash::report::summary_lines(&reports));
+    lines.push(dhtm_crash::report::control_line(control.as_ref()));
+    let all_passed = reports.iter().all(dhtm_crash::CrashCellReport::all_passed)
+        && control
+            .as_ref()
+            .is_some_and(dhtm_crash::NegativeControl::detected);
+    lines.push(format!(
+        "overall: {}",
+        if all_passed {
+            "ALL RECOVERY ORACLES PASS"
+        } else {
+            "ORACLE FAILURES DETECTED"
+        }
+    ));
+    ExperimentResult {
+        name: "recovery",
+        lines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Emission and binary entry points
 // ---------------------------------------------------------------------------
 
@@ -632,10 +731,10 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = ALL.iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 10);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9, "duplicate experiment names");
+        assert_eq!(names.len(), 10, "duplicate experiment names");
         for e in ALL {
             assert_eq!(by_name(e.name).unwrap().name, e.name);
         }

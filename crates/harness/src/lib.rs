@@ -42,7 +42,6 @@ use dhtm_sim::machine::Machine;
 use dhtm_sim::workload::Workload;
 use dhtm_types::config::SystemConfig;
 use dhtm_types::policy::DesignKind;
-use dhtm_workloads::{micro_by_name, TatpWorkload, TpccWorkload};
 
 /// Seed used by all experiments (results are deterministic given the seed).
 pub const EXPERIMENT_SEED: u64 = 0x15CA_2018;
@@ -80,11 +79,7 @@ pub const ALL_WORKLOADS: [&str; 8] = [
 ///
 /// Panics if the name is unknown.
 pub fn workload_by_name(name: &str, seed: u64) -> Box<dyn Workload> {
-    match name {
-        "tatp" => Box::new(TatpWorkload::new(seed)),
-        "tpcc" => Box::new(TpccWorkload::new(seed)),
-        other => micro_by_name(other, seed).unwrap_or_else(|| panic!("unknown workload {other}")),
-    }
+    dhtm_workloads::by_name(name, seed).unwrap_or_else(|| panic!("unknown workload {name}"))
 }
 
 /// Commit targets appropriate for each workload class (OLTP transactions are

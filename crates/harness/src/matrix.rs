@@ -298,22 +298,7 @@ pub struct Cell {
 /// excluded, so seeds are stable under matrix reordering and any `--jobs`
 /// value.
 pub fn cell_seed(base: u64, workload: &str, cores: usize) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    mix(&base.to_le_bytes());
-    mix(workload.as_bytes());
-    mix(&(cores as u64).to_le_bytes());
-    // splitmix64 finaliser to spread the FNV state over all 64 bits.
-    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = h;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    dhtm_types::seed::stable_cell_seed(base, workload, cores)
 }
 
 #[cfg(test)]

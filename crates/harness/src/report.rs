@@ -79,6 +79,26 @@ fn numeric_fields(row: &Row) -> Vec<(&'static str, f64)> {
         ("fallback_commits", s.fallback_commits as f64),
         ("mean_write_set_lines", s.mean_write_set_lines()),
         ("mean_read_set_lines", s.mean_read_set_lines()),
+        ("crash_points", s.recovery.crash_points as f64),
+        ("oracle_failures", s.recovery.oracle_failures as f64),
+        ("recovery_replayed", s.recovery.replayed_transactions as f64),
+        (
+            "recovery_rolled_back",
+            s.recovery.rolled_back_transactions as f64,
+        ),
+        (
+            "recovery_skipped_complete",
+            s.recovery.skipped_complete as f64,
+        ),
+        (
+            "recovery_skipped_uncommitted",
+            s.recovery.skipped_uncommitted as f64,
+        ),
+        ("recovery_lines_written", s.recovery.lines_written as f64),
+        ("recovery_words_written", s.recovery.words_written as f64),
+        ("recovery_redo_lines", s.recovery.redo_lines_applied as f64),
+        ("recovery_undo_lines", s.recovery.undo_lines_applied as f64),
+        ("recovery_sentinel_edges", s.recovery.sentinel_edges as f64),
     ];
     for reason in AbortReason::ALL {
         let count = s.aborts.get(&reason).copied().unwrap_or(0) as f64;
@@ -270,6 +290,9 @@ mod tests {
         assert_eq!(header.len(), values.len());
         assert!(header.contains(&"commit_stall_cycles"));
         assert!(header.contains(&"total_stall_cycles"));
+        assert!(header.contains(&"crash_points"));
+        assert!(header.contains(&"oracle_failures"));
+        assert!(header.contains(&"recovery_sentinel_edges"));
     }
 
     #[test]

@@ -59,6 +59,27 @@ impl RtmEngine {
         &self.states[core.get()]
     }
 
+    /// Whether `core`'s current transaction is running on the global-lock
+    /// fallback path (composed designs must provide their own durability
+    /// there — fallback stores are not tracked by the HTM write set).
+    pub fn in_fallback(&self, core: CoreId) -> bool {
+        self.in_fallback[core.get()]
+    }
+
+    /// Aborts the transaction currently running on `core` on behalf of a
+    /// composed design (e.g. sdTM's fallback when its software log
+    /// overflows): rolls back the speculative state, releases the fallback
+    /// lock if held, and reports the abort.
+    pub fn abort_current(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        now: u64,
+        reason: AbortReason,
+    ) -> StepOutcome {
+        self.do_abort(machine, core, now, reason)
+    }
+
     fn arbiter_config(&self) -> ArbiterConfig {
         ArbiterConfig::rtm_like(self.policy)
     }

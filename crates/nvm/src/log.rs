@@ -164,6 +164,26 @@ impl TransactionLog {
         before - self.records.len()
     }
 
+    /// Mutable iteration over the records currently in the log, oldest
+    /// first. This is the fault-injection surface of the crash-validation
+    /// subsystem: it models bit-rot / torn writes inside the durable log, so
+    /// the recovery oracles can be tested against deliberately corrupted
+    /// state. Mutations through this iterator do not affect the lifetime
+    /// byte/record counters.
+    pub fn records_mut(&mut self) -> impl Iterator<Item = &mut LogRecord> {
+        self.records.iter_mut()
+    }
+
+    /// Retains only the records for which `pred` returns `true` (oldest
+    /// first), returning the number of dropped records. Fault-injection
+    /// surface: models the loss of individual durable records (e.g. a commit
+    /// marker that never reached NVM).
+    pub fn retain_records<F: FnMut(&LogRecord) -> bool>(&mut self, mut pred: F) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| pred(r));
+        before - self.records.len()
+    }
+
     /// Total records appended over the lifetime of the log (not reduced by
     /// reclamation) — the basis for log-write statistics.
     pub fn appended_records(&self) -> u64 {

@@ -98,6 +98,14 @@ impl OverflowList {
         self.entries.iter().any(|&(t, l)| t == tx && l == line)
     }
 
+    /// Whether `line` is recorded as overflowed for *any* transaction — i.e.
+    /// the LLC copy of the line holds speculative (uncommitted) data. Used
+    /// by the memory system to keep speculative lines from being written in
+    /// place when the LLC evicts them.
+    pub fn contains_line(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|&(_, l)| l == line)
+    }
+
     /// Clears the entries belonging to transaction `tx` (done at the end of
     /// commit-complete or abort-complete).
     pub fn clear_tx(&mut self, tx: TxId) {

@@ -38,6 +38,17 @@ pub struct RecoveryReport {
     pub lines_written: usize,
     /// Total word-granular writes performed during recovery.
     pub words_written: usize,
+    /// Lines written while replaying redo records (a subset of
+    /// [`RecoveryReport::lines_written`]); non-zero only for redo-logging
+    /// designs (SO, sdTM, DHTM).
+    pub redo_lines_applied: usize,
+    /// Lines written while rolling back via undo records (the other subset
+    /// of [`RecoveryReport::lines_written`]); non-zero only for undo-logging
+    /// designs (ATOM, LogTM-ATOM).
+    pub undo_lines_applied: usize,
+    /// Sentinel dependency edges honoured while ordering the replay of
+    /// conflicting committed-but-incomplete transactions.
+    pub sentinel_edges: usize,
 }
 
 /// Per-transaction status, derived from the markers present in the log.
@@ -119,8 +130,9 @@ impl RecoveryManager {
                     if depends_on != tx
                         && replayable.contains(&tx)
                         && replayable.contains(&depends_on)
+                        && deps.get_mut(&tx).expect("tx present").insert(depends_on)
                     {
-                        deps.get_mut(&tx).expect("tx present").insert(depends_on);
+                        report.sentinel_edges += 1;
                     }
                 }
             }
@@ -137,6 +149,7 @@ impl RecoveryManager {
                     RecordKind::Redo { line, data } => {
                         domain.memory_mut().write_line(line, data);
                         report.lines_written += 1;
+                        report.redo_lines_applied += 1;
                     }
                     RecordKind::RedoWord { line, word, value } => {
                         domain.memory_mut().write_line_word(
@@ -165,6 +178,7 @@ impl RecoveryManager {
                         if let RecordKind::Undo { line, data } = rec.kind {
                             domain.memory_mut().write_line(line, data);
                             report.lines_written += 1;
+                            report.undo_lines_applied += 1;
                             undone = true;
                         }
                     }
@@ -399,6 +413,38 @@ mod tests {
         let data = d.read_line(line);
         assert_eq!(data[3], 99);
         assert_eq!(data[0], 1);
+    }
+
+    #[test]
+    fn report_splits_redo_and_undo_lines_and_counts_sentinel_edges() {
+        let mut d = domain();
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        let tb = TxId::new(1);
+        let ta = TxId::new(2);
+        let undone = TxId::new(3);
+        let line = LineAddr::new(9);
+        // Two committed-but-incomplete redo transactions ordered by one
+        // sentinel edge, plus one in-flight undo transaction to roll back.
+        d.log_mut(t0)
+            .append(LogRecord::redo(tb, line, [5; 8]))
+            .unwrap();
+        d.log_mut(t0).append(LogRecord::commit(tb)).unwrap();
+        d.log_mut(t1)
+            .append(LogRecord::redo(ta, line, [6; 8]))
+            .unwrap();
+        d.log_mut(t1).append(LogRecord::sentinel(ta, tb)).unwrap();
+        d.log_mut(t1).append(LogRecord::commit(ta)).unwrap();
+        d.log_mut(t0)
+            .append(LogRecord::undo(undone, LineAddr::new(20), [2; 8]))
+            .unwrap();
+
+        let report = RecoveryManager::new().recover(&mut d).unwrap();
+        assert_eq!(report.redo_lines_applied, 2);
+        assert_eq!(report.undo_lines_applied, 1);
+        assert_eq!(report.lines_written, 3);
+        assert_eq!(report.sentinel_edges, 1);
+        assert_eq!(d.read_line(line), [6; 8]);
     }
 
     #[test]

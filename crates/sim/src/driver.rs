@@ -7,10 +7,20 @@
 //! the core index makes the schedule identical to the historical
 //! linear-scan driver, so results are bit-for-bit reproducible across both
 //! implementations and any worker-pool sharding built on top.
+//!
+//! The loop itself lives in [`SimulationSession`], a checkpointed, resumable
+//! form of the run: callers can advance it one event at a time with
+//! [`SimulationSession::step`], observe each step (commits, the machine, the
+//! persistent domain) between events, stop at an arbitrary point and collect
+//! partial statistics. [`Simulator::run`] is the uninstrumented
+//! run-to-completion wrapper; the crash-injection subsystem (`dhtm_crash`)
+//! is the primary stepping client.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use dhtm_coherence::memsys::MemStats;
+use dhtm_nvm::domain::PersistentDomain;
 use dhtm_types::ids::CoreId;
 use dhtm_types::policy::DesignKind;
 use dhtm_types::stats::RunStats;
@@ -125,13 +135,6 @@ impl Simulator {
         }
     }
 
-    fn backoff(&self, attempts: u32, core: CoreId) -> u64 {
-        let exp = attempts.min(7);
-        let raw = self.backoff_base << exp;
-        // Small deterministic per-core skew de-synchronises retries.
-        raw.min(self.backoff_cap) + (core.get() as u64) * 7
-    }
-
     /// Runs `workload` on `machine` under `engine` until the limits are hit.
     ///
     /// Setup transactions produced by the workload are applied directly to
@@ -144,6 +147,23 @@ impl Simulator {
         workload: &mut dyn Workload,
         limits: &RunLimits,
     ) -> SimulationResult {
+        let mut session = self.start(machine, engine, workload, limits);
+        session.run_to_completion();
+        session.into_result()
+    }
+
+    /// Starts a checkpointed, resumable session: the setup phase runs, the
+    /// engine is initialised and the event heap is seeded, but no event is
+    /// processed yet. Advance it with [`SimulationSession::step`] /
+    /// [`SimulationSession::run_to_completion`] and finish with
+    /// [`SimulationSession::into_result`].
+    pub fn start<'a>(
+        &self,
+        machine: &'a mut Machine,
+        engine: &'a mut dyn TxEngine,
+        workload: &'a mut dyn Workload,
+        limits: &RunLimits,
+    ) -> SimulationSession<'a> {
         // ---- Setup phase: populate persistent memory directly. ----
         for tx in workload.setup_transactions() {
             for op in &tx.ops {
@@ -160,140 +180,30 @@ impl Simulator {
         engine.init(machine);
 
         let num_cores = machine.num_cores();
-        let mut cores: Vec<CoreRun> = (0..num_cores).map(|_| CoreRun::new()).collect();
+        let cores: Vec<CoreRun> = (0..num_cores).map(|_| CoreRun::new()).collect();
         let mem_stats_before = machine.mem.stats().clone();
         let log_records_before = machine.mem.domain().total_log_records();
 
         // Event heap: one entry per core, keyed by (local time, core index).
         // Popping yields the core with the smallest local time, ties broken
         // by the lower index — the same schedule as a linear min-scan.
-        let mut events: BinaryHeap<Reverse<(u64, usize)>> =
+        let events: BinaryHeap<Reverse<(u64, usize)>> =
             (0..num_cores).map(|i| Reverse((0, i))).collect();
-        let mut total_committed: u64 = 0;
 
-        while total_committed < limits.target_commits {
-            let Some(Reverse((now, core_idx))) = events.pop() else {
-                break;
-            };
-            debug_assert_eq!(now, cores[core_idx].time, "stale event-heap entry");
-            if now >= limits.max_cycles {
-                break;
-            }
-            let core = CoreId::new(core_idx);
-
-            // Ensure the core has a transaction to work on.
-            if cores[core_idx].tx.is_none() {
-                let tx = workload.next_transaction(core);
-                cores[core_idx].tx = Some(tx);
-                cores[core_idx].op_idx = 0;
-                cores[core_idx].begun = false;
-                cores[core_idx].attempts = 0;
-            }
-
-            // Decide and execute the next step.
-            let (outcome, step_kind) = {
-                let run = &cores[core_idx];
-                let tx = run.tx.as_ref().expect("transaction present");
-                if !run.begun {
-                    let mut locks = tx.locks.clone();
-                    locks.sort_unstable();
-                    locks.dedup();
-                    (engine.begin(machine, core, &locks, now), Step::Begin)
-                } else if run.op_idx < tx.ops.len() {
-                    match tx.ops[run.op_idx] {
-                        TxOp::Compute(cycles) => (StepOutcome::done(now + cycles), Step::Op),
-                        TxOp::Read(addr) => (engine.read(machine, core, addr, now), Step::Op),
-                        TxOp::Write(addr, value) => {
-                            (engine.write(machine, core, addr, value, now), Step::Op)
-                        }
-                    }
-                } else {
-                    (engine.commit(machine, core, now), Step::Commit)
-                }
-            };
-
-            match outcome {
-                StepOutcome::Done { at } => {
-                    debug_assert!(at >= now, "time must not go backwards");
-                    cores[core_idx].time = at.max(now);
-                    match step_kind {
-                        Step::Begin => cores[core_idx].begun = true,
-                        Step::Op => cores[core_idx].op_idx += 1,
-                        Step::Commit => {
-                            let tx = cores[core_idx].tx.take().expect("present");
-                            total_committed += 1;
-                            let tx_stats = engine.last_tx_stats(core);
-                            let ws = if tx_stats.write_set_lines > 0 {
-                                tx_stats.write_set_lines
-                            } else {
-                                tx.write_set_lines().len()
-                            };
-                            let rs = if tx_stats.read_set_lines > 0 {
-                                tx_stats.read_set_lines
-                            } else {
-                                tx.read_set_lines().len()
-                            };
-                            let stats = &mut cores[core_idx].stats;
-                            stats.committed += 1;
-                            stats.loads += tx.load_count() as u64;
-                            stats.stores += tx.store_count() as u64;
-                            stats.sum_write_set_lines += ws as u64;
-                            stats.sum_read_set_lines += rs as u64;
-                        }
-                    }
-                }
-                StepOutcome::Stall { retry_at } => {
-                    let wait = retry_at.saturating_sub(now).max(1);
-                    let run = &mut cores[core_idx];
-                    run.stats.total_stall_cycles += wait;
-                    match step_kind {
-                        Step::Begin => run.stats.lock_wait_cycles += wait,
-                        Step::Commit => run.stats.commit_stall_cycles += wait,
-                        Step::Op => {}
-                    }
-                    run.time = now + wait;
-                }
-                StepOutcome::Aborted {
-                    at,
-                    retry_at,
-                    reason,
-                } => {
-                    cores[core_idx].stats.record_abort(reason);
-                    let attempts = cores[core_idx].attempts;
-                    let resume = at.max(retry_at).max(now) + self.backoff(attempts, core);
-                    cores[core_idx].time = resume;
-                    cores[core_idx].op_idx = 0;
-                    cores[core_idx].begun = false;
-                    cores[core_idx].attempts = attempts.saturating_add(1);
-                }
-            }
-
-            let t = cores[core_idx].time;
-            events.push(Reverse((t, core_idx)));
-        }
-
-        // ---- Collect statistics: merge the per-core batches, then add the
-        // machine-global memory-system deltas. ----
-        for c in &mut cores {
-            c.stats.total_cycles = c.time;
-        }
-        let mut stats = RunStats::merge_many(cores.iter().map(|c| &c.stats));
-        let mem_stats = machine.mem.stats();
-        stats.l1_hits = mem_stats.l1_hits - mem_stats_before.l1_hits;
-        stats.l1_misses = mem_stats.l1_misses - mem_stats_before.l1_misses;
-        stats.llc_hits = mem_stats.llc_hits - mem_stats_before.llc_hits;
-        stats.llc_misses = mem_stats.llc_misses - mem_stats_before.llc_misses;
-        stats.nvm_line_reads = mem_stats.nvm_line_reads - mem_stats_before.nvm_line_reads;
-        stats.log_bytes_written = mem_stats.log_bytes - mem_stats_before.log_bytes;
-        stats.data_bytes_written =
-            mem_stats.data_writeback_bytes - mem_stats_before.data_writeback_bytes;
-        stats.log_records_written = machine.mem.domain().total_log_records() - log_records_before;
-        stats.fallback_commits = engine.fallback_commits();
-
-        SimulationResult {
-            design: engine.design(),
-            workload: workload.name().to_string(),
-            stats,
+        SimulationSession {
+            backoff_base: self.backoff_base,
+            backoff_cap: self.backoff_cap,
+            machine,
+            engine,
+            workload,
+            limits: *limits,
+            cores,
+            events,
+            total_committed: 0,
+            mem_stats_before,
+            log_records_before,
+            finished: false,
+            observe_started: false,
         }
     }
 }
@@ -303,6 +213,271 @@ enum Step {
     Begin,
     Op,
     Commit,
+}
+
+/// What one call to [`SimulationSession::step`] did.
+#[derive(Debug)]
+pub enum StepEvent {
+    /// The run is over (commit target reached, cycle limit hit, or the event
+    /// heap is exhausted). Subsequent calls keep returning `Finished`.
+    Finished,
+    /// One core advanced by one event.
+    Progress {
+        /// The core that stepped.
+        core: CoreId,
+        /// The core's local clock after the step.
+        time: u64,
+        /// The transaction fetched from the workload at the start of this
+        /// step, if one was fetched — populated only when
+        /// [`SimulationSession::observe_started_transactions`] is on (the
+        /// clone is not free and the run loop itself never needs it).
+        started: Option<Transaction>,
+        /// The transaction that committed in this step, if the step was a
+        /// successful commit. Always populated (the driver owns the
+        /// transaction at that point, so handing it out costs nothing).
+        committed: Option<Transaction>,
+    },
+}
+
+/// A checkpointed, resumable simulation run.
+///
+/// The session owns the full scheduler state (per-core progress, the event
+/// heap, partially accumulated statistics) and borrows the machine, engine
+/// and workload. Between steps the caller may inspect — but must not mutate —
+/// the machine; the persistent domain is exposed for crash snapshotting.
+/// Stepping a session to completion and collecting the result is bit-for-bit
+/// identical to [`Simulator::run`].
+pub struct SimulationSession<'a> {
+    backoff_base: u64,
+    backoff_cap: u64,
+    machine: &'a mut Machine,
+    engine: &'a mut dyn TxEngine,
+    workload: &'a mut dyn Workload,
+    limits: RunLimits,
+    cores: Vec<CoreRun>,
+    events: BinaryHeap<Reverse<(u64, usize)>>,
+    total_committed: u64,
+    mem_stats_before: MemStats,
+    log_records_before: u64,
+    finished: bool,
+    observe_started: bool,
+}
+
+impl std::fmt::Debug for SimulationSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationSession")
+            .field("total_committed", &self.total_committed)
+            .field("finished", &self.finished)
+            .field("cores", &self.cores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SimulationSession<'a> {
+    /// Turns on reporting of fetched transactions in
+    /// [`StepEvent::Progress::started`] (costs one transaction clone per
+    /// fetch; off by default).
+    pub fn observe_started_transactions(&mut self, on: bool) {
+        self.observe_started = on;
+    }
+
+    /// The scheduled time of the next event, i.e. the cycle at which the
+    /// next [`SimulationSession::step`] will execute. `None` once finished.
+    pub fn next_event_time(&self) -> Option<u64> {
+        if self.finished || self.total_committed >= self.limits.target_commits {
+            return None;
+        }
+        self.events.peek().map(|Reverse((t, _))| *t)
+    }
+
+    /// Whether the run has terminated.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Transactions committed so far.
+    pub fn total_committed(&self) -> u64 {
+        self.total_committed
+    }
+
+    /// Read access to the simulated machine between steps.
+    pub fn machine(&self) -> &Machine {
+        self.machine
+    }
+
+    /// The persistent domain at the current cut point — everything that
+    /// would survive a crash right now.
+    pub fn domain(&self) -> &PersistentDomain {
+        self.machine.mem.domain()
+    }
+
+    fn backoff(&self, attempts: u32, core: CoreId) -> u64 {
+        let exp = attempts.min(7);
+        let raw = self.backoff_base << exp;
+        // Small deterministic per-core skew de-synchronises retries.
+        raw.min(self.backoff_cap) + (core.get() as u64) * 7
+    }
+
+    /// Processes the next event. Returns what happened; once the run's
+    /// limits are reached every further call returns [`StepEvent::Finished`].
+    pub fn step(&mut self) -> StepEvent {
+        if self.finished {
+            return StepEvent::Finished;
+        }
+        if self.total_committed >= self.limits.target_commits {
+            self.finished = true;
+            return StepEvent::Finished;
+        }
+        let Some(Reverse((now, core_idx))) = self.events.pop() else {
+            self.finished = true;
+            return StepEvent::Finished;
+        };
+        debug_assert_eq!(now, self.cores[core_idx].time, "stale event-heap entry");
+        if now >= self.limits.max_cycles {
+            self.finished = true;
+            return StepEvent::Finished;
+        }
+        let core = CoreId::new(core_idx);
+        let mut started = None;
+        let mut committed = None;
+
+        // Ensure the core has a transaction to work on.
+        if self.cores[core_idx].tx.is_none() {
+            let tx = self.workload.next_transaction(core);
+            if self.observe_started {
+                started = Some(tx.clone());
+            }
+            self.cores[core_idx].tx = Some(tx);
+            self.cores[core_idx].op_idx = 0;
+            self.cores[core_idx].begun = false;
+            self.cores[core_idx].attempts = 0;
+        }
+
+        // Decide and execute the next step.
+        let (outcome, step_kind) = {
+            let run = &self.cores[core_idx];
+            let tx = run.tx.as_ref().expect("transaction present");
+            if !run.begun {
+                let mut locks = tx.locks.clone();
+                locks.sort_unstable();
+                locks.dedup();
+                (
+                    self.engine.begin(self.machine, core, &locks, now),
+                    Step::Begin,
+                )
+            } else if run.op_idx < tx.ops.len() {
+                match tx.ops[run.op_idx] {
+                    TxOp::Compute(cycles) => (StepOutcome::done(now + cycles), Step::Op),
+                    TxOp::Read(addr) => (self.engine.read(self.machine, core, addr, now), Step::Op),
+                    TxOp::Write(addr, value) => (
+                        self.engine.write(self.machine, core, addr, value, now),
+                        Step::Op,
+                    ),
+                }
+            } else {
+                (self.engine.commit(self.machine, core, now), Step::Commit)
+            }
+        };
+
+        match outcome {
+            StepOutcome::Done { at } => {
+                debug_assert!(at >= now, "time must not go backwards");
+                self.cores[core_idx].time = at.max(now);
+                match step_kind {
+                    Step::Begin => self.cores[core_idx].begun = true,
+                    Step::Op => self.cores[core_idx].op_idx += 1,
+                    Step::Commit => {
+                        let tx = self.cores[core_idx].tx.take().expect("present");
+                        self.total_committed += 1;
+                        let tx_stats = self.engine.last_tx_stats(core);
+                        let ws = if tx_stats.write_set_lines > 0 {
+                            tx_stats.write_set_lines
+                        } else {
+                            tx.write_set_lines().len()
+                        };
+                        let rs = if tx_stats.read_set_lines > 0 {
+                            tx_stats.read_set_lines
+                        } else {
+                            tx.read_set_lines().len()
+                        };
+                        let stats = &mut self.cores[core_idx].stats;
+                        stats.committed += 1;
+                        stats.loads += tx.load_count() as u64;
+                        stats.stores += tx.store_count() as u64;
+                        stats.sum_write_set_lines += ws as u64;
+                        stats.sum_read_set_lines += rs as u64;
+                        committed = Some(tx);
+                    }
+                }
+            }
+            StepOutcome::Stall { retry_at } => {
+                let wait = retry_at.saturating_sub(now).max(1);
+                let run = &mut self.cores[core_idx];
+                run.stats.total_stall_cycles += wait;
+                match step_kind {
+                    Step::Begin => run.stats.lock_wait_cycles += wait,
+                    Step::Commit => run.stats.commit_stall_cycles += wait,
+                    Step::Op => {}
+                }
+                run.time = now + wait;
+            }
+            StepOutcome::Aborted {
+                at,
+                retry_at,
+                reason,
+            } => {
+                self.cores[core_idx].stats.record_abort(reason);
+                let attempts = self.cores[core_idx].attempts;
+                let resume = at.max(retry_at).max(now) + self.backoff(attempts, core);
+                self.cores[core_idx].time = resume;
+                self.cores[core_idx].op_idx = 0;
+                self.cores[core_idx].begun = false;
+                self.cores[core_idx].attempts = attempts.saturating_add(1);
+            }
+        }
+
+        let t = self.cores[core_idx].time;
+        self.events.push(Reverse((t, core_idx)));
+        StepEvent::Progress {
+            core,
+            time: t,
+            started,
+            committed,
+        }
+    }
+
+    /// Steps until the run's limits are reached.
+    pub fn run_to_completion(&mut self) {
+        while !matches!(self.step(), StepEvent::Finished) {}
+    }
+
+    /// Collects the result accumulated so far: the per-core statistic
+    /// batches are merged and the machine-global memory-system deltas added.
+    /// Valid at any cut point, not just at completion.
+    pub fn into_result(mut self) -> SimulationResult {
+        for c in &mut self.cores {
+            c.stats.total_cycles = c.time;
+        }
+        let mut stats = RunStats::merge_many(self.cores.iter().map(|c| &c.stats));
+        let mem_stats = self.machine.mem.stats();
+        stats.l1_hits = mem_stats.l1_hits - self.mem_stats_before.l1_hits;
+        stats.l1_misses = mem_stats.l1_misses - self.mem_stats_before.l1_misses;
+        stats.llc_hits = mem_stats.llc_hits - self.mem_stats_before.llc_hits;
+        stats.llc_misses = mem_stats.llc_misses - self.mem_stats_before.llc_misses;
+        stats.nvm_line_reads = mem_stats.nvm_line_reads - self.mem_stats_before.nvm_line_reads;
+        stats.log_bytes_written = mem_stats.log_bytes - self.mem_stats_before.log_bytes;
+        stats.data_bytes_written =
+            mem_stats.data_writeback_bytes - self.mem_stats_before.data_writeback_bytes;
+        stats.log_records_written =
+            self.machine.mem.domain().total_log_records() - self.log_records_before;
+        stats.fallback_commits = self.engine.fallback_commits();
+
+        SimulationResult {
+            design: self.engine.design(),
+            workload: self.workload.name().to_string(),
+            stats,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -535,9 +710,110 @@ mod tests {
 
     #[test]
     fn backoff_grows_with_attempts_and_is_capped() {
-        let sim = Simulator::new();
+        let mut machine = Machine::new(SystemConfig::small_test());
+        let mut engine = PassthroughEngine::default();
+        let mut workload = CounterWorkload::new(4);
+        let limits = RunLimits::quick();
+        let session = Simulator::new().start(&mut machine, &mut engine, &mut workload, &limits);
         let c = CoreId::new(0);
-        assert!(sim.backoff(0, c) < sim.backoff(3, c));
-        assert!(sim.backoff(20, c) <= 4096 + 7 * 8);
+        assert!(session.backoff(0, c) < session.backoff(3, c));
+        assert!(session.backoff(20, c) <= 4096 + 7 * 8);
+    }
+
+    #[test]
+    fn stepped_session_is_bit_identical_to_run() {
+        let run_plain = || {
+            let mut machine = Machine::new(SystemConfig::small_test());
+            let mut engine = PassthroughEngine::default();
+            let mut workload = CounterWorkload::new(4);
+            let limits = RunLimits::quick().with_target_commits(50);
+            Simulator::new()
+                .run(&mut machine, &mut engine, &mut workload, &limits)
+                .stats
+        };
+        let run_stepped = || {
+            let mut machine = Machine::new(SystemConfig::small_test());
+            let mut engine = PassthroughEngine::default();
+            let mut workload = CounterWorkload::new(4);
+            let limits = RunLimits::quick().with_target_commits(50);
+            let sim = Simulator::new();
+            let mut session = sim.start(&mut machine, &mut engine, &mut workload, &limits);
+            session.observe_started_transactions(true);
+            while let StepEvent::Progress { .. } = session.step() {}
+            session.into_result().stats
+        };
+        assert_eq!(run_plain(), run_stepped());
+    }
+
+    #[test]
+    fn session_reports_commits_and_started_transactions() {
+        let mut machine = Machine::new(SystemConfig::small_test().with_num_cores(2));
+        let mut engine = PassthroughEngine::default();
+        let mut workload = CounterWorkload::new(2);
+        let limits = RunLimits::quick().with_target_commits(6);
+        let sim = Simulator::new();
+        let mut session = sim.start(&mut machine, &mut engine, &mut workload, &limits);
+        session.observe_started_transactions(true);
+        let mut started = 0;
+        let mut committed = 0;
+        loop {
+            match session.step() {
+                StepEvent::Finished => break,
+                StepEvent::Progress {
+                    started: s,
+                    committed: c,
+                    ..
+                } => {
+                    if s.is_some() {
+                        started += 1;
+                    }
+                    if let Some(tx) = c {
+                        assert!(!tx.ops.is_empty());
+                        committed += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(committed, 6);
+        assert!(started >= committed, "every committed tx was started");
+        assert_eq!(session.total_committed(), 6);
+        assert!(session.is_finished());
+    }
+
+    #[test]
+    fn session_can_stop_at_a_cycle_and_expose_the_domain() {
+        let mut machine = Machine::new(SystemConfig::small_test());
+        let mut engine = PassthroughEngine::default();
+        let mut workload = CounterWorkload::new(4);
+        let limits = RunLimits::quick().with_target_commits(100);
+        let sim = Simulator::new();
+        let mut session = sim.start(&mut machine, &mut engine, &mut workload, &limits);
+        // Step until simulated time reaches an arbitrary cut point.
+        let cut = 2_000;
+        while session.next_event_time().is_some_and(|t| t < cut) {
+            session.step();
+        }
+        assert!(!session.is_finished());
+        let committed_at_cut = session.total_committed();
+        assert!(committed_at_cut < 100);
+        // The durable state at the cut point is observable.
+        let snapshot = session.domain().crash_snapshot();
+        assert_eq!(snapshot.threads(), 4);
+        // Partial statistics can be collected at the cut.
+        let partial = session.into_result().stats;
+        assert_eq!(partial.committed, committed_at_cut);
+    }
+
+    #[test]
+    fn next_event_time_is_none_once_finished() {
+        let mut machine = Machine::new(SystemConfig::small_test().with_num_cores(1));
+        let mut engine = PassthroughEngine::default();
+        let mut workload = CounterWorkload::new(1);
+        let limits = RunLimits::quick().with_target_commits(2);
+        let sim = Simulator::new();
+        let mut session = sim.start(&mut machine, &mut engine, &mut workload, &limits);
+        session.run_to_completion();
+        assert!(session.next_event_time().is_none());
+        assert!(matches!(session.step(), StepEvent::Finished));
     }
 }

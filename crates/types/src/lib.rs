@@ -35,6 +35,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod policy;
+pub mod seed;
 pub mod stats;
 
 pub use addr::{Address, LineAddr, WordIndex, LINE_SIZE, WORDS_PER_LINE, WORD_SIZE};

@@ -114,6 +114,54 @@ pub struct RunStats {
     pub sum_write_set_lines: u64,
     /// Sum of read-set sizes (lines) over committed transactions.
     pub sum_read_set_lines: u64,
+    /// Crash-recovery experiment counters (all zero for ordinary simulation
+    /// runs; filled in by the `dhtm_crash` auditor so crash experiments
+    /// round-trip through the same JSON/CSV reporting as everything else).
+    pub recovery: RecoveryCounters,
+}
+
+/// Aggregate recovery/crash-audit counters carried inside [`RunStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Crash points audited.
+    pub crash_points: u64,
+    /// Crash points whose recovery violated an oracle.
+    pub oracle_failures: u64,
+    /// Committed-but-incomplete transactions replayed from redo records.
+    pub replayed_transactions: u64,
+    /// In-flight transactions rolled back from undo records.
+    pub rolled_back_transactions: u64,
+    /// Transactions skipped as already complete.
+    pub skipped_complete: u64,
+    /// Transactions skipped as never committed / aborted.
+    pub skipped_uncommitted: u64,
+    /// Lines written to the in-place image during recovery.
+    pub lines_written: u64,
+    /// Word-granular writes performed during recovery.
+    pub words_written: u64,
+    /// Lines applied from redo records.
+    pub redo_lines_applied: u64,
+    /// Lines applied from undo records.
+    pub undo_lines_applied: u64,
+    /// Sentinel dependency edges honoured during replay ordering.
+    pub sentinel_edges: u64,
+}
+
+impl RecoveryCounters {
+    /// Accumulates another set of counters into this one.
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.crash_points += other.crash_points;
+        self.oracle_failures += other.oracle_failures;
+        self.replayed_transactions += other.replayed_transactions;
+        self.rolled_back_transactions += other.rolled_back_transactions;
+        self.skipped_complete += other.skipped_complete;
+        self.skipped_uncommitted += other.skipped_uncommitted;
+        self.lines_written += other.lines_written;
+        self.words_written += other.words_written;
+        self.redo_lines_applied += other.redo_lines_applied;
+        self.undo_lines_applied += other.undo_lines_applied;
+        self.sentinel_edges += other.sentinel_edges;
+    }
 }
 
 impl RunStats {
@@ -212,6 +260,7 @@ impl RunStats {
         self.fallback_commits += other.fallback_commits;
         self.sum_write_set_lines += other.sum_write_set_lines;
         self.sum_read_set_lines += other.sum_read_set_lines;
+        self.recovery.merge(&other.recovery);
     }
 
     /// Merges a batch of per-core (or per-shard) statistics records into one
@@ -307,6 +356,22 @@ mod tests {
         assert_eq!(a.total_cycles, 250);
         assert_eq!(a.total_aborts(), 3);
         assert_eq!(a.aborts[&AbortReason::Conflict], 2);
+    }
+
+    #[test]
+    fn merge_accumulates_recovery_counters() {
+        let mut a = RunStats::new();
+        a.recovery.crash_points = 3;
+        a.recovery.replayed_transactions = 1;
+        let mut b = RunStats::new();
+        b.recovery.crash_points = 5;
+        b.recovery.oracle_failures = 1;
+        b.recovery.sentinel_edges = 2;
+        a.merge(&b);
+        assert_eq!(a.recovery.crash_points, 8);
+        assert_eq!(a.recovery.oracle_failures, 1);
+        assert_eq!(a.recovery.replayed_transactions, 1);
+        assert_eq!(a.recovery.sentinel_edges, 2);
     }
 
     #[test]

@@ -63,9 +63,30 @@ pub fn micro_by_name(name: &str, seed: u64) -> Option<Box<dyn Workload>> {
     Some(micro::build(kind, seed))
 }
 
+/// Builds any of the paper's eight workloads by name: the six
+/// micro-benchmarks plus `"tatp"` and `"tpcc"`. Returns `None` for unknown
+/// names.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Workload>> {
+    match name {
+        "tatp" => Some(Box::new(TatpWorkload::new(seed))),
+        "tpcc" => Some(Box::new(TpccWorkload::new(seed))),
+        other => micro_by_name(other, seed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn by_name_covers_all_eight_workloads() {
+        for name in [
+            "queue", "hash", "sdg", "sps", "btree", "rbtree", "tatp", "tpcc",
+        ] {
+            assert_eq!(by_name(name, 7).unwrap().name(), name);
+        }
+        assert!(by_name("nope", 7).is_none());
+    }
 
     #[test]
     fn suite_has_six_benchmarks_with_paper_names() {

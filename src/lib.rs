@@ -9,6 +9,7 @@ pub use dhtm;
 pub use dhtm_baselines as baselines;
 pub use dhtm_cache as cache;
 pub use dhtm_coherence as coherence;
+pub use dhtm_crash as crash;
 pub use dhtm_harness as harness;
 pub use dhtm_htm as htm;
 pub use dhtm_nvm as nvm;

@@ -1,0 +1,92 @@
+//! Golden-recovery regression: pinned `RecoveryReport` fields for a fixed
+//! (design, workload, crash-point) triple, alongside `tests/golden_stats.rs`.
+//! Any change to the logging protocol, the durable-mutation clock or the
+//! recovery manager that shifts what a crash image contains — or how it is
+//! recovered — trips these exact-equality checks instead of silently
+//! changing the crash experiments. Update the constants ONLY when a change
+//! to durable behaviour is intended, and say so in the commit message.
+
+use dhtm_crash::{capture_cell, profile_cell, CrashCell, RecoveryAuditor};
+use dhtm_nvm::recovery::RecoveryManager;
+use dhtm_types::config::SystemConfig;
+use dhtm_types::policy::DesignKind;
+
+const GOLDEN_WORKLOAD: &str = "hash";
+const GOLDEN_SEED: u64 = 0x15CA_2018;
+const GOLDEN_COMMITS: u64 = 12;
+
+fn golden_cell() -> CrashCell {
+    CrashCell {
+        design: DesignKind::Dhtm,
+        workload: GOLDEN_WORKLOAD.to_string(),
+        config: SystemConfig::small_test(),
+        config_name: "small".to_string(),
+        commits: GOLDEN_COMMITS,
+        seed: GOLDEN_SEED,
+    }
+}
+
+/// Pinned shape of the golden crash: the run's total durable mutations and
+/// the crash point — the first point inside the 3rd commit's step at which
+/// the log holds the transaction as committed-but-incomplete (commit record
+/// durable, complete record not): the window whose replay the recovery
+/// manager exists for.
+const GOLDEN_TOTAL_MUTATIONS: u64 = 1_899;
+const GOLDEN_CRASH_POINT: u64 = 503;
+
+/// Pinned `RecoveryReport`: (replayed, rolled_back, skipped_complete,
+/// skipped_uncommitted, lines_written, words_written, redo_lines, undo_lines,
+/// sentinel_edges).
+const GOLDEN_REPORT: (u64, u64, u64, u64, u64, u64, u64, u64, u64) = (1, 0, 0, 1, 70, 0, 70, 0, 0);
+
+#[test]
+fn golden_recovery_report_for_fixed_crash_point() {
+    let cell = golden_cell();
+    let run = profile_cell(&cell);
+    assert_eq!(
+        run.profile.total_mutations, GOLDEN_TOTAL_MUTATIONS,
+        "durable-mutation timeline shifted; if intended, update GOLDEN_TOTAL_MUTATIONS \
+         and re-derive GOLDEN_CRASH_POINT / GOLDEN_REPORT"
+    );
+    let c = &run.profile.commits[2];
+    let candidates: Vec<u64> = ((c.step_start_mutations + 1)..c.step_end_mutations).collect();
+    let captures = capture_cell(&cell, &candidates);
+    let (captured_at, snapshot) = captures
+        .iter()
+        .find(|(_, snap)| dhtm_crash::fault::has_target(snap))
+        .expect("the commit step contains a committed-but-incomplete window");
+    assert_eq!(*captured_at, GOLDEN_CRASH_POINT, "replay window moved");
+
+    let mut crashed = snapshot.crash_snapshot();
+    let report = RecoveryManager::new().recover(&mut crashed).unwrap();
+    let got = (
+        report.replayed_transactions as u64,
+        report.rolled_back_transactions as u64,
+        report.skipped_complete as u64,
+        report.skipped_uncommitted as u64,
+        report.lines_written as u64,
+        report.words_written as u64,
+        report.redo_lines_applied as u64,
+        report.undo_lines_applied as u64,
+        report.sentinel_edges as u64,
+    );
+    assert_eq!(
+        got, GOLDEN_REPORT,
+        "recovery report shifted; if the durable-behaviour change is intended, \
+         update GOLDEN_REPORT to {got:?}"
+    );
+
+    // And the recovered image must still satisfy the oracles.
+    let mut auditor = RecoveryAuditor::new(&run.profile, cell.design);
+    let outcome = auditor.audit(*captured_at, snapshot);
+    assert!(outcome.passed, "{:?}", outcome.violations);
+}
+
+#[test]
+fn golden_recovery_is_reproducible() {
+    let cell = golden_cell();
+    let a = profile_cell(&cell);
+    let b = profile_cell(&cell);
+    assert_eq!(a.profile.total_mutations, b.profile.total_mutations);
+    assert_eq!(a.step_spans, b.step_spans);
+}
