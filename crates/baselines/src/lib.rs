@@ -13,20 +13,27 @@
 //! | [`logtm_atom::LogTmAtomEngine`] (LogTM-ATOM) | LogTM-style eager HTM with NACK stalling and overflow | ATOM-style hardware undo logging |
 //! | [`NpEngine`] (NP) | RTM-like HTM | none (volatile upper bound) |
 //!
-//! Every engine implements [`dhtm_sim::engine::TxEngine`]; the factory
-//! [`build_engine`] constructs any design (including DHTM itself) from a
-//! [`DesignKind`], which is what the benchmark harness uses.
+//! Every engine implements [`dhtm_sim::engine::TxEngine`] and is
+//! constructed through the [`registry`]: an extensible catalogue of named
+//! [`registry::EngineFactory`] entries with capability metadata. The six
+//! designs register under their canonical ids ("so", "sdtm", "atom",
+//! "logtm-atom", "dhtm", "np") alongside the built-in DHTM variants; new
+//! variants register via [`registry::register_global`] without touching any
+//! dispatch code. [`build_engine`] survives as a compatibility shim over
+//! the registry for callers that still think in [`DesignKind`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod atom;
 pub mod logtm_atom;
+pub mod registry;
 pub mod sdtm;
 pub mod so;
 
 pub use atom::AtomEngine;
 pub use logtm_atom::LogTmAtomEngine;
+pub use registry::{EngineFactory, EngineId, EngineInfo, EngineRegistry};
 pub use sdtm::SdTmEngine;
 pub use so::SoEngine;
 
@@ -38,7 +45,10 @@ use dhtm_sim::engine::TxEngine;
 use dhtm_types::config::SystemConfig;
 use dhtm_types::policy::DesignKind;
 
-/// Builds the engine for any of the paper's designs.
+/// Builds the engine for any of the paper's designs by resolving its
+/// canonical id through the process-wide [`registry`]. Compatibility entry
+/// point; new code should resolve an [`EngineId`] itself (which also covers
+/// named variants).
 ///
 /// ```
 /// use dhtm_baselines::build_engine;
@@ -49,14 +59,9 @@ use dhtm_types::policy::DesignKind;
 /// assert_eq!(engine.design(), DesignKind::Dhtm);
 /// ```
 pub fn build_engine(kind: DesignKind, cfg: &SystemConfig) -> Box<dyn TxEngine> {
-    match kind {
-        DesignKind::SoftwareOnly => Box::new(SoEngine::new(cfg)),
-        DesignKind::SdTm => Box::new(SdTmEngine::new(cfg)),
-        DesignKind::Atom => Box::new(AtomEngine::new(cfg)),
-        DesignKind::LogTmAtom => Box::new(LogTmAtomEngine::new(cfg)),
-        DesignKind::Dhtm => Box::new(dhtm::DhtmEngine::new(cfg)),
-        DesignKind::NonPersistent => Box::new(NpEngine::new(cfg)),
-    }
+    registry::resolve(&kind.into())
+        .expect("all designs are registered builtin")
+        .build(cfg)
 }
 
 #[cfg(test)]

@@ -49,4 +49,4 @@ pub use fault::Fault;
 pub use matrix::{negative_control, CrashCell, CrashCellReport, CrashMatrix, NegativeControl};
 pub use oracle::{OracleOutcome, RecoveryAuditor};
 pub use plan::{CrashPoint, PointKind};
-pub use probe::{capture_cell, profile_cell, ProfiledRun, RunProfile};
+pub use probe::{capture_cell, profile_cell, ProfileRecorder, ProfiledRun, RunProfile};

@@ -32,6 +32,27 @@ pub struct CrashCell {
     pub seed: u64,
 }
 
+impl CrashCell {
+    /// The cell's runnable form: its engine resolved through the engine
+    /// registry, with the cell's exact configuration and workload seed —
+    /// the single construction path the profile and capture runs share
+    /// with the experiment harness.
+    pub fn resolved(&self) -> dhtm_scenario::ResolvedSpec {
+        dhtm_scenario::ResolvedSpec::from_parts(
+            &self.design.into(),
+            self.workload.clone(),
+            self.config.clone(),
+            dhtm_scenario::SpecLimits {
+                // Crash cells have always run under `RunLimits::evaluation`
+                // (the `SpecLimits` default) with their own commit target.
+                target_commits: self.commits,
+                ..dhtm_scenario::SpecLimits::default()
+            },
+            self.seed,
+        )
+    }
+}
+
 /// The verdict for one crash point of one cell.
 #[derive(Debug, Clone)]
 pub struct PointVerdict {

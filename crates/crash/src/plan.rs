@@ -27,6 +27,19 @@ pub enum PointKind {
     Cycle(u64),
 }
 
+impl std::fmt::Display for PointKind {
+    /// The report label of the kind ("stratified", "adversarial",
+    /// "explicit", "cycle@N") — the single source every renderer uses.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PointKind::Stratified => f.write_str("stratified"),
+            PointKind::Adversarial => f.write_str("adversarial"),
+            PointKind::Explicit => f.write_str("explicit"),
+            PointKind::Cycle(c) => write!(f, "cycle@{c}"),
+        }
+    }
+}
+
 /// A planned crash point on the mutation clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashPoint {

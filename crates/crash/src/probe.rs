@@ -2,20 +2,23 @@
 //! timeline against the durable-mutation clock.
 //!
 //! Every crash experiment runs its cell (deterministically) twice: the
-//! *profile* run steps the [`dhtm_sim::driver::SimulationSession`] one event
-//! at a time, recording for every commit the span of the durable-mutation
-//! clock its commit step occupied and the word writes it made durable; the
-//! *capture* run (see [`crate::matrix`]) replays the identical execution
-//! with the domain armed at the chosen crash points. Because both runs are
-//! seeded identically, the profile's timeline indexes the capture run's
-//! snapshots exactly.
+//! *profile* run streams the [`dhtm_sim::driver::SimulationSession`]'s
+//! events through a [`ProfileRecorder`] — an ordinary
+//! [`dhtm_sim::observer::SimObserver`] — recording for every commit the
+//! span of the durable-mutation clock its commit step occupied and the
+//! word writes it made durable; the *capture* run (see [`crate::matrix`])
+//! replays the identical execution with the same crash points armed
+//! through the session. Because both runs are seeded identically, the
+//! profile's timeline indexes the capture run's snapshots exactly. Engines
+//! are built through the engine registry via the scenario exec layer
+//! ([`CrashCell::resolved`]), the same construction path the experiment
+//! harness uses.
 
 use std::collections::BTreeSet;
 
-use dhtm_baselines::build_engine;
 use dhtm_nvm::domain::PersistentDomain;
-use dhtm_sim::driver::{RunLimits, SimulationResult, Simulator, StepEvent};
-use dhtm_sim::machine::Machine;
+use dhtm_sim::driver::{SimulationResult, Simulator};
+use dhtm_sim::observer::{SimObserver, StepContext};
 use dhtm_sim::workload::{Transaction, TxOp};
 use dhtm_types::addr::Address;
 use dhtm_types::policy::DesignKind;
@@ -114,82 +117,76 @@ impl ProfiledRun {
     }
 }
 
-/// Runs `cell` once with full observation, producing its timeline.
-pub fn profile_cell(cell: &CrashCell) -> ProfiledRun {
-    let mut machine = Machine::new(cell.config.clone());
-    let mut engine = build_engine(cell.design, &cell.config);
-    let mut workload =
-        dhtm_workloads::by_name(&cell.workload, cell.seed).expect("known workload name");
-    let limits = RunLimits::evaluation().with_target_commits(cell.commits);
-    let sim = Simulator::new();
-    let mut session = sim.start(&mut machine, engine.as_mut(), workload.as_mut(), &limits);
-    session.observe_started_transactions(true);
+/// The crash subsystem's streaming profiler: a [`SimObserver`] that
+/// records the commit timeline (mutation-clock spans + word writes), the
+/// tracked address universe and every mutation-advancing step span.
+#[derive(Debug, Default)]
+pub struct ProfileRecorder {
+    commits: Vec<CommitEvent>,
+    tracked: BTreeSet<Address>,
+    step_spans: Vec<(u64, u64, u64)>,
+}
 
-    let base = session.domain().crash_snapshot();
-    let mut commits = Vec::new();
-    let mut tracked = BTreeSet::new();
-    let mut step_spans = Vec::new();
-
-    loop {
-        let step_time = session.next_event_time();
-        let start = session.domain().mutation_count();
-        match session.step() {
-            StepEvent::Finished => break,
-            StepEvent::Progress {
-                started, committed, ..
-            } => {
-                let end = session.domain().mutation_count();
-                let step_time = step_time.unwrap_or(0);
-                if end > start {
-                    step_spans.push((step_time, start, end));
-                }
-                if let Some(tx) = &started {
-                    for (addr, _) in word_writes(tx) {
-                        tracked.insert(addr);
-                    }
-                }
-                if let Some(tx) = committed {
-                    commits.push(CommitEvent {
-                        index: commits.len(),
-                        step_time,
-                        step_start_mutations: start,
-                        step_end_mutations: end,
-                        writes: word_writes(&tx),
-                    });
-                }
-            }
+impl SimObserver for ProfileRecorder {
+    fn on_begin(&mut self, _ctx: &StepContext<'_>, tx: &Transaction) {
+        for (addr, _) in word_writes(tx) {
+            self.tracked.insert(addr);
         }
     }
 
-    let total_mutations = session.domain().mutation_count();
-    let design = cell.design;
-    let result = session.into_result();
-    ProfiledRun {
-        profile: RunProfile {
-            design,
-            base,
-            commits,
-            tracked,
-            total_mutations,
-            result,
-        },
-        step_spans,
+    fn on_durable_tick(&mut self, ctx: &StepContext<'_>) {
+        self.step_spans
+            .push((ctx.now, ctx.mutations_before, ctx.mutations_after));
+    }
+
+    fn on_commit(&mut self, ctx: &StepContext<'_>, tx: &Transaction) {
+        self.commits.push(CommitEvent {
+            index: self.commits.len(),
+            step_time: ctx.now,
+            step_start_mutations: ctx.mutations_before,
+            step_end_mutations: ctx.mutations_after,
+            writes: word_writes(tx),
+        });
     }
 }
 
-/// Re-runs `cell` identically with the domain armed at `points`, returning
-/// the captured crash images as `(point, image)` pairs in ascending order.
+/// Runs `cell` once with full observation, producing its timeline.
+pub fn profile_cell(cell: &CrashCell) -> ProfiledRun {
+    let resolved = cell.resolved();
+    let (mut machine, mut engine, mut workload, limits) = resolved.components();
+    let sim = Simulator::new();
+    let mut session = sim.start(&mut machine, engine.as_mut(), workload.as_mut(), &limits);
+
+    let base = session.domain().crash_snapshot();
+    let mut recorder = ProfileRecorder::default();
+    session.run_to_completion_with(&mut recorder);
+
+    let total_mutations = session.domain().mutation_count();
+    let result = session.into_result();
+    ProfiledRun {
+        profile: RunProfile {
+            design: cell.design,
+            base,
+            commits: recorder.commits,
+            tracked: recorder.tracked,
+            total_mutations,
+            result,
+        },
+        step_spans: recorder.step_spans,
+    }
+}
+
+/// Re-runs `cell` identically with the crash points armed through the
+/// session, returning the captured crash images as `(point, image)` pairs
+/// in ascending order.
 pub fn capture_cell(cell: &CrashCell, points: &[u64]) -> Vec<(u64, PersistentDomain)> {
-    let mut machine = Machine::new(cell.config.clone());
-    let mut engine = build_engine(cell.design, &cell.config);
-    let mut workload =
-        dhtm_workloads::by_name(&cell.workload, cell.seed).expect("known workload name");
-    let limits = RunLimits::evaluation().with_target_commits(cell.commits);
-    machine
-        .mem
-        .domain_mut()
-        .arm_crash_captures(points.iter().copied());
-    Simulator::new().run(&mut machine, engine.as_mut(), workload.as_mut(), &limits);
+    let resolved = cell.resolved();
+    let (mut machine, mut engine, mut workload, limits) = resolved.components();
+    let sim = Simulator::new();
+    let mut session = sim.start(&mut machine, engine.as_mut(), workload.as_mut(), &limits);
+    session.arm_crash_points(points);
+    session.run_to_completion();
+    drop(session);
     machine.mem.domain_mut().take_crash_captures()
 }
 

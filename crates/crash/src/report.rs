@@ -4,16 +4,6 @@
 use std::fmt::Write as _;
 
 use crate::matrix::{CrashCellReport, NegativeControl};
-use crate::plan::PointKind;
-
-fn kind_label(kind: PointKind) -> String {
-    match kind {
-        PointKind::Stratified => "stratified".to_string(),
-        PointKind::Adversarial => "adversarial".to_string(),
-        PointKind::Explicit => "explicit".to_string(),
-        PointKind::Cycle(c) => format!("cycle@{c}"),
-    }
-}
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -56,7 +46,7 @@ pub fn verdicts_to_json(reports: &[CrashCellReport]) -> String {
                 report.cell.seed,
                 report.total_mutations,
                 o.point,
-                kind_label(v.kind),
+                v.kind,
                 o.committed_before,
                 o.ambiguous,
                 o.resolved_forward,

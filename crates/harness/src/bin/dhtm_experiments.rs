@@ -1,19 +1,35 @@
 //! The experiment-suite runner: run any figure/table of the paper — or all
-//! of them — through the matrix harness from one CLI.
+//! of them, or ad-hoc scenario spec files — through the matrix harness
+//! from one CLI.
 //!
 //! ```text
-//! dhtm_experiments [--experiment NAME|all] [--jobs N] [--format table|json|csv] [--out PATH]
+//! dhtm_experiments [--experiment NAME|all] [--spec FILE...] [--jobs N]
+//!                  [--format table|json|csv] [--out PATH]
 //! ```
 //!
 //! With `--experiment all` (the default) the full 8-experiment paper suite
 //! plus the scaling sweep runs; `--format json --out results.json` dumps
-//! every simulation row for archival (the CI quick-mode artifact).
+//! every simulation row for archival (the CI quick-mode artifact). With
+//! `--spec examples/specs/*.toml` each listed spec file is validated and
+//! executed instead (the typed scenario API's file front-end).
 
 use dhtm_harness::cli::HarnessOpts;
-use dhtm_harness::experiments::{by_name, ExperimentResult, ALL};
+use dhtm_harness::experiments::{by_name, run_specs, ExperimentResult, ALL};
 
 fn main() {
     let opts = HarnessOpts::parse_env();
+    if !opts.specs.is_empty() {
+        if opts.experiment.is_some() {
+            eprintln!("--spec and --experiment are mutually exclusive");
+            std::process::exit(2);
+        }
+        let result = run_specs(&opts.specs).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        dhtm_harness::experiments::emit(&opts, &[result]);
+        return;
+    }
     let which = opts.experiment.as_deref().unwrap_or("all");
     let results: Vec<ExperimentResult> = match which {
         "all" => ALL

@@ -24,6 +24,11 @@ pub struct HarnessOpts {
     pub crash_points: Option<usize>,
     /// Extra cycle-denominated crash points for the `recovery` experiment.
     pub crash_at: Vec<u64>,
+    /// Scenario spec files to run instead of a catalogue experiment
+    /// (suite runner only; `--spec` greedily consumes every following
+    /// non-flag argument, so shell globs like `examples/specs/*.toml`
+    /// expand naturally).
+    pub specs: Vec<PathBuf>,
 }
 
 impl Default for HarnessOpts {
@@ -35,6 +40,7 @@ impl Default for HarnessOpts {
             experiment: None,
             crash_points: None,
             crash_at: Vec::new(),
+            specs: Vec::new(),
         }
     }
 }
@@ -47,6 +53,8 @@ pub const USAGE: &str = "options:
   --experiment NAME    (suite runner only) experiment to run, or 'all'
   --crash-points N     (recovery experiment) stratified crash points per cell (default 8)
   --crash-at CYCLE     (recovery experiment) add a crash at the given cycle; repeatable
+  --spec PATH...       (suite runner only) run scenario spec files (.toml/.json) instead
+                       of a catalogue experiment; globs expand naturally
   --help               print this help";
 
 impl HarnessOpts {
@@ -61,7 +69,7 @@ impl HarnessOpts {
         S: Into<String>,
     {
         let mut opts = HarnessOpts::default();
-        let mut args = args.into_iter().map(Into::into);
+        let mut args = args.into_iter().map(Into::into).peekable();
         while let Some(arg) = args.next() {
             let mut value_for = |flag: &str| {
                 args.next()
@@ -98,6 +106,16 @@ impl HarnessOpts {
                         v.parse::<u64>()
                             .map_err(|_| format!("--crash-at needs a cycle number, got '{v}'"))?,
                     );
+                }
+                "--spec" => {
+                    // Greedy: `--spec a.toml b.toml c.json` (a shell glob
+                    // expansion) loads every listed file. Any dash-prefixed
+                    // argument ends the list — short flags like `-h` are
+                    // flags, not spec paths.
+                    opts.specs.push(PathBuf::from(value_for("--spec")?));
+                    while args.peek().is_some_and(|a| !a.starts_with('-')) {
+                        opts.specs.push(PathBuf::from(args.next().expect("peeked")));
+                    }
                 }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -163,6 +181,34 @@ mod tests {
         .unwrap();
         assert_eq!(opts.crash_points, Some(12));
         assert_eq!(opts.crash_at, vec![5000, 9000]);
+    }
+
+    #[test]
+    fn spec_flag_is_greedy_over_glob_expansions() {
+        let opts = HarnessOpts::parse([
+            "--spec",
+            "examples/specs/a.toml",
+            "examples/specs/b.toml",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.specs,
+            vec![
+                PathBuf::from("examples/specs/a.toml"),
+                PathBuf::from("examples/specs/b.toml")
+            ]
+        );
+        assert_eq!(opts.jobs, 2);
+        assert!(HarnessOpts::parse(["--spec"]).is_err());
+        // Short flags end the greedy list instead of being eaten as paths.
+        assert_eq!(
+            HarnessOpts::parse(["--spec", "a.toml", "-j", "3"])
+                .unwrap()
+                .jobs,
+            3
+        );
     }
 
     #[test]

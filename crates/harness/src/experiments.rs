@@ -7,16 +7,18 @@
 use std::io::Write as _;
 
 use dhtm::hw_overhead::{hardware_overhead, total_overhead_bytes};
-use dhtm_types::config::SystemConfig;
+use dhtm_baselines::registry::{self, EngineId};
+use dhtm_scenario::SimSpec;
+use dhtm_types::config::{ConfigOverlay, SystemConfig};
 use dhtm_types::policy::DesignKind;
 
 use crate::cli::HarnessOpts;
-use crate::matrix::{CommitSpec, ConfigVariant, EngineSpec, Matrix};
+use crate::matrix::{CommitSpec, ConfigVariant, Matrix};
 use crate::report::{
     geometric_mean, row_line, rows_to_csv, rows_to_json, so_normalised, OutputFormat,
 };
 use crate::runner::{run_matrix, Row};
-use crate::{experiment_config, quick_mode, MICRO_NAMES};
+use crate::{default_base, quick_mode, MICRO_NAMES};
 
 /// The rendered outcome of one experiment: human-readable table lines plus
 /// the raw rows for JSON/CSV export.
@@ -107,6 +109,70 @@ pub fn by_name(name: &str) -> Option<&'static Experiment> {
     ALL.iter().find(|e| e.name == name)
 }
 
+/// The declarative matrix behind every simulation-backed catalogue
+/// experiment (everything except the arithmetic-only `table2` and the
+/// crash-matrix `recovery`). This is the surface the golden spec-hash test
+/// pins: each cell's spec, seed and content hash are reproducible from
+/// here without running anything.
+pub fn catalogue_matrices() -> Vec<(&'static str, Matrix)> {
+    vec![
+        ("fig5", fig5_matrix()),
+        ("table5", table5_matrix()),
+        ("fig6", fig6_matrix()),
+        ("table6", table6_matrix()),
+        ("table7", table7_matrix()),
+        ("ablation", ablation_matrix()),
+        ("table4", table4_matrix()),
+        ("scaling", scaling_matrix()),
+    ]
+}
+
+/// Runs spec files (`--spec PATH...`) as one ad-hoc experiment: each file
+/// is loaded, validated against the engine registry and executed; rows are
+/// labelled `spec:<file-stem>` so mixed dumps stay attributable.
+///
+/// # Errors
+///
+/// Returns the first load/validation error, naming the file.
+pub fn run_specs(paths: &[std::path::PathBuf]) -> Result<ExperimentResult, String> {
+    let mut lines = vec!["# Spec runs".to_string()];
+    let mut rows = Vec::new();
+    for path in paths {
+        let spec = SimSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let result = spec.run().map_err(|e| format!("{}: {e}", path.display()))?;
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("spec")
+            .to_string();
+        let row = Row {
+            experiment: format!("spec:{stem}"),
+            engine: registry::label_of(&spec.engine),
+            workload: spec.workload.clone(),
+            cores: spec.config().num_cores,
+            config: spec.base.to_string(),
+            seed: spec.derived_seed(),
+            target_commits: spec.limits.target_commits,
+            stats: result.stats.clone(),
+        };
+        lines.push(format!(
+            "| {:<24} | {:<12} | {:<7} | {:>8} commits | {:>10} cycles | hash {:016x} |",
+            stem,
+            row.engine,
+            row.workload,
+            row.stats.committed,
+            row.stats.total_cycles,
+            spec.content_hash(),
+        ));
+        rows.push(row);
+    }
+    Ok(ExperimentResult {
+        name: "specs",
+        lines,
+        rows,
+    })
+}
+
 /// Runs `matrix` with the CLI's worker count and tags the rows with the
 /// experiment name.
 fn run_tagged(name: &'static str, matrix: &Matrix, opts: &HarnessOpts) -> Vec<Row> {
@@ -121,20 +187,25 @@ fn run_tagged(name: &'static str, matrix: &Matrix, opts: &HarnessOpts) -> Vec<Ro
 // Figure 5
 // ---------------------------------------------------------------------------
 
-fn fig5(opts: &HarnessOpts) -> ExperimentResult {
-    let designs = [
-        DesignKind::SoftwareOnly,
-        DesignKind::SdTm,
-        DesignKind::Atom,
-        DesignKind::LogTmAtom,
-        DesignKind::Dhtm,
-    ];
-    let variant = ConfigVariant::default_machine();
-    let cores = variant.config.num_cores;
-    let matrix = Matrix::new()
-        .engines(designs)
+const FIG5_DESIGNS: [DesignKind; 5] = [
+    DesignKind::SoftwareOnly,
+    DesignKind::SdTm,
+    DesignKind::Atom,
+    DesignKind::LogTmAtom,
+    DesignKind::Dhtm,
+];
+
+fn fig5_matrix() -> Matrix {
+    Matrix::new()
+        .engines(FIG5_DESIGNS)
         .workloads(MICRO_NAMES)
-        .config(variant);
+        .config(ConfigVariant::default_machine())
+}
+
+fn fig5(opts: &HarnessOpts) -> ExperimentResult {
+    let designs = FIG5_DESIGNS;
+    let cores = ConfigVariant::default_machine().config().num_cores;
+    let matrix = fig5_matrix();
     let rows = run_tagged("fig5", &matrix, opts);
 
     let machine = if quick_mode() {
@@ -179,12 +250,15 @@ fn fig5(opts: &HarnessOpts) -> ExperimentResult {
 // Table V
 // ---------------------------------------------------------------------------
 
-fn table5(opts: &HarnessOpts) -> ExperimentResult {
-    let matrix = Matrix::new()
+fn table5_matrix() -> Matrix {
+    Matrix::new()
         .engines([DesignKind::SdTm, DesignKind::Dhtm])
         .workloads(MICRO_NAMES)
-        .config(ConfigVariant::default_machine());
-    let rows = run_tagged("table5", &matrix, opts);
+        .config(ConfigVariant::default_machine())
+}
+
+fn table5(opts: &HarnessOpts) -> ExperimentResult {
+    let rows = run_tagged("table5", &table5_matrix(), opts);
 
     let mut lines = vec![
         "# Table V: abort rates (%)".to_string(),
@@ -226,21 +300,25 @@ fn table5(opts: &HarnessOpts) -> ExperimentResult {
 
 const FIG6_ENTRIES: [usize; 6] = [4, 8, 16, 32, 64, 128];
 
-fn fig6(opts: &HarnessOpts) -> ExperimentResult {
+fn fig6_matrix() -> Matrix {
     let configs: Vec<ConfigVariant> = FIG6_ENTRIES
         .iter()
         .map(|&entries| {
             ConfigVariant::new(
                 format!("logbuf{entries}"),
-                experiment_config().with_log_buffer_entries(entries),
+                default_base(),
+                ConfigOverlay::none().with_log_buffer_entries(entries),
             )
         })
         .collect();
-    let matrix = Matrix::new()
+    Matrix::new()
         .engines([DesignKind::Dhtm])
         .workloads(["hash"])
-        .configs(configs);
-    let rows = run_tagged("fig6", &matrix, opts);
+        .configs(configs)
+}
+
+fn fig6(opts: &HarnessOpts) -> ExperimentResult {
+    let rows = run_tagged("fig6", &fig6_matrix(), opts);
 
     let baseline = rows
         .iter()
@@ -283,15 +361,20 @@ fn fig6(opts: &HarnessOpts) -> ExperimentResult {
 // Table VI
 // ---------------------------------------------------------------------------
 
-fn table6(opts: &HarnessOpts) -> ExperimentResult {
-    let designs = [DesignKind::SoftwareOnly, DesignKind::Atom, DesignKind::Dhtm];
-    let variant = ConfigVariant::default_machine();
-    let cores = variant.config.num_cores;
-    let matrix = Matrix::new()
-        .engines(designs)
+const TABLE6_DESIGNS: [DesignKind; 3] =
+    [DesignKind::SoftwareOnly, DesignKind::Atom, DesignKind::Dhtm];
+
+fn table6_matrix() -> Matrix {
+    Matrix::new()
+        .engines(TABLE6_DESIGNS)
         .workloads(["tpcc", "tatp"])
-        .config(variant);
-    let rows = run_tagged("table6", &matrix, opts);
+        .config(ConfigVariant::default_machine())
+}
+
+fn table6(opts: &HarnessOpts) -> ExperimentResult {
+    let designs = TABLE6_DESIGNS;
+    let cores = ConfigVariant::default_machine().config().num_cores;
+    let rows = run_tagged("table6", &table6_matrix(), opts);
 
     let mut lines = vec![
         "# Table VI: OLTP throughput normalised to SO".to_string(),
@@ -327,23 +410,30 @@ fn table6(opts: &HarnessOpts) -> ExperimentResult {
 
 const TABLE7_MULTS: [(f64, &str); 3] = [(1.0, "bw1x"), (2.0, "bw2x"), (10.0, "bw10x")];
 
-fn table7(opts: &HarnessOpts) -> ExperimentResult {
+fn table7_matrix() -> Matrix {
     let configs: Vec<ConfigVariant> = TABLE7_MULTS
         .iter()
         .map(|&(mult, name)| {
-            ConfigVariant::new(name, experiment_config().with_bandwidth_multiplier(mult))
+            ConfigVariant::new(
+                name,
+                default_base(),
+                ConfigOverlay::none().with_bandwidth_multiplier(mult),
+            )
         })
         .collect();
-    let cores = experiment_config().num_cores;
-    let matrix = Matrix::new()
+    Matrix::new()
         .engines([
             DesignKind::SoftwareOnly,
             DesignKind::NonPersistent,
             DesignKind::Dhtm,
         ])
         .workloads(["hash"])
-        .configs(configs);
-    let rows = run_tagged("table7", &matrix, opts);
+        .configs(configs)
+}
+
+fn table7(opts: &HarnessOpts) -> ExperimentResult {
+    let cores = crate::experiment_config().num_cores;
+    let rows = run_tagged("table7", &table7_matrix(), opts);
 
     let mut lines = vec![
         "# Table VII: hash throughput normalised to SO under bandwidth scaling".to_string(),
@@ -376,18 +466,20 @@ fn table7(opts: &HarnessOpts) -> ExperimentResult {
 // Section VI-D ablation
 // ---------------------------------------------------------------------------
 
-fn ablation(opts: &HarnessOpts) -> ExperimentResult {
-    let variant = ConfigVariant::default_machine();
-    let matrix = Matrix::new()
+fn ablation_matrix() -> Matrix {
+    Matrix::new()
         .engines([
-            EngineSpec::Design(DesignKind::SoftwareOnly),
-            EngineSpec::Design(DesignKind::Dhtm),
-            EngineSpec::DhtmInstantWrites,
-            EngineSpec::Design(DesignKind::NonPersistent),
+            EngineId::from(DesignKind::SoftwareOnly),
+            EngineId::from(DesignKind::Dhtm),
+            EngineId::new("dhtm-instant"),
+            EngineId::from(DesignKind::NonPersistent),
         ])
         .workloads(MICRO_NAMES)
-        .config(variant);
-    let rows = run_tagged("ablation", &matrix, opts);
+        .config(ConfigVariant::default_machine())
+}
+
+fn ablation(opts: &HarnessOpts) -> ExperimentResult {
+    let rows = run_tagged("ablation", &ablation_matrix(), opts);
 
     let mut lines = vec![
         "# Section VI-D: instant-write ablation and the NP upper bound (normalised to SO)"
@@ -452,13 +544,16 @@ const TABLE4_PAPER: [(&str, f64); 8] = [
     ("rbtree", 53.0),
 ];
 
-fn table4(opts: &HarnessOpts) -> ExperimentResult {
-    let matrix = Matrix::new()
+fn table4_matrix() -> Matrix {
+    Matrix::new()
         .engines([DesignKind::Dhtm])
         .workloads(TABLE4_PAPER.iter().map(|(wl, _)| *wl))
         .config(ConfigVariant::default_machine())
-        .commits(CommitSpec::CappedDefault(64));
-    let rows = run_tagged("table4", &matrix, opts);
+        .commits(CommitSpec::CappedDefault(64))
+}
+
+fn table4(opts: &HarnessOpts) -> ExperimentResult {
+    let rows = run_tagged("table4", &table4_matrix(), opts);
 
     let mut lines =
         vec!["# Table IV: mean write-set size per transaction (cache lines)".to_string()];
@@ -517,19 +612,26 @@ fn table2(_opts: &HarnessOpts) -> ExperimentResult {
 // Scaling sweep (beyond the paper)
 // ---------------------------------------------------------------------------
 
-fn scaling(opts: &HarnessOpts) -> ExperimentResult {
-    let core_counts: Vec<usize> = if quick_mode() {
+fn scaling_core_counts() -> Vec<usize> {
+    if quick_mode() {
         vec![1, 2, 4]
     } else {
         vec![1, 2, 4, 8, 16]
-    };
-    let configs = ConfigVariant::ladder();
-    let matrix = Matrix::new()
+    }
+}
+
+fn scaling_matrix() -> Matrix {
+    Matrix::new()
         .engines([DesignKind::SoftwareOnly, DesignKind::Dhtm])
         .workloads(["hash", "btree"])
-        .core_counts(core_counts.clone())
-        .configs(configs.clone());
-    let rows = run_tagged("scaling", &matrix, opts);
+        .core_counts(scaling_core_counts())
+        .configs(ConfigVariant::ladder())
+}
+
+fn scaling(opts: &HarnessOpts) -> ExperimentResult {
+    let core_counts = scaling_core_counts();
+    let configs = ConfigVariant::ladder();
+    let rows = run_tagged("scaling", &scaling_matrix(), opts);
 
     let mut lines = vec![
         "# Scaling sweep: DHTM speedup over SO vs core count (beyond the paper's 8-core point)"
@@ -566,7 +668,7 @@ fn recovery(opts: &HarnessOpts) -> ExperimentResult {
     use dhtm_crash::{negative_control, CrashMatrix};
 
     let workloads = ["hash", "queue"];
-    let mut matrix = CrashMatrix::new(&DesignKind::ALL, workloads, experiment_config());
+    let mut matrix = CrashMatrix::new(&DesignKind::ALL, workloads, crate::experiment_config());
     matrix.config_name = if quick_mode() { "small" } else { "default" }.to_string();
     matrix.commits = if quick_mode() { 12 } else { 64 };
     matrix.seed = crate::EXPERIMENT_SEED;

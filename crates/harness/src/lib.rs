@@ -5,17 +5,20 @@
 //!
 //! An experiment is a [`matrix::Matrix`]: the cross product of
 //!
-//! * **engines** — the paper's designs ([`dhtm_types::policy::DesignKind`])
-//!   plus named DHTM variants such as the instant-write ablation,
+//! * **engines** — [`dhtm_baselines::registry::EngineId`]s resolved
+//!   through the engine registry: the paper's designs, the built-in DHTM
+//!   variants ("dhtm-instant", ...) and any out-of-tree engine registered
+//!   via `dhtm_baselines::registry::register_global`,
 //! * **workloads** — the six micro-benchmarks, TATP and TPC-C, by name,
 //! * **core counts** — 1..16 cores (the paper evaluates 8),
 //! * **configs** — named [`SystemConfig`] variants (Table III baseline,
 //!   the small test machine, log-buffer and bandwidth sweeps, ...).
 //!
-//! [`runner::run_matrix`] expands the matrix into cells, shards the
-//! independent simulation runs across an `std::thread` worker pool
-//! (`--jobs N`) and collects one [`runner::Row`] per cell in deterministic
-//! matrix order. Every cell is seeded from a content hash of its workload /
+//! Every cell carries a complete, serializable
+//! [`dhtm_scenario::SimSpec`]; [`runner::run_matrix`] expands the matrix
+//! into cells, shards the independent spec runs across an `std::thread`
+//! worker pool (`--jobs N`) and collects one [`runner::Row`] per cell in
+//! deterministic matrix order. Every cell is seeded from a content hash of its workload /
 //! core-count coordinates — *not* from the engine or config, so all designs
 //! and config-sweep points in a group execute the same transaction stream,
 //! and *not* from the worker that happens to run it, so results are
@@ -36,15 +39,14 @@ pub mod matrix;
 pub mod report;
 pub mod runner;
 
-use dhtm_baselines::build_engine;
-use dhtm_sim::driver::{RunLimits, SimulationResult, Simulator};
-use dhtm_sim::machine::Machine;
+use dhtm_scenario::{ResolvedSpec, SpecLimits};
+use dhtm_sim::driver::SimulationResult;
 use dhtm_sim::workload::Workload;
-use dhtm_types::config::SystemConfig;
+use dhtm_types::config::{BaseConfig, SystemConfig};
 use dhtm_types::policy::DesignKind;
 
 /// Seed used by all experiments (results are deterministic given the seed).
-pub const EXPERIMENT_SEED: u64 = 0x15CA_2018;
+pub const EXPERIMENT_SEED: u64 = dhtm_scenario::DEFAULT_SEED;
 
 /// True when the `DHTM_BENCH_QUICK` environment variable is set (to anything
 /// but `0`): experiments then run on [`SystemConfig::small_test`] with
@@ -55,14 +57,22 @@ pub fn quick_mode() -> bool {
     std::env::var_os("DHTM_BENCH_QUICK").is_some_and(|v| v != "0")
 }
 
-/// The machine configuration every experiment binary should simulate: the
-/// paper's Table III machine, or the small test machine in [`quick_mode`].
-pub fn experiment_config() -> SystemConfig {
+/// The named base configuration every experiment builds on: the paper's
+/// Table III machine, or the small test machine in [`quick_mode`]. Cells
+/// carry this name (plus a sparse overlay) in their specs, which is what
+/// keeps every catalogue cell serializable.
+pub fn default_base() -> BaseConfig {
     if quick_mode() {
-        SystemConfig::small_test()
+        BaseConfig::Small
     } else {
-        SystemConfig::isca18_baseline()
+        BaseConfig::Isca18
     }
+}
+
+/// The machine configuration every experiment binary should simulate: the
+/// resolved form of [`default_base`].
+pub fn experiment_config() -> SystemConfig {
+    default_base().resolve()
 }
 
 /// The six micro-benchmark names in the paper's order.
@@ -100,18 +110,27 @@ pub fn default_commits_for(workload: &str) -> u64 {
 
 /// Runs one (design, workload) pair on a fresh machine and returns the
 /// simulation result. Compatibility entry point predating the matrix
-/// runner; new code should build a [`matrix::Matrix`] instead.
+/// runner; new code should build a [`matrix::Matrix`] (or a
+/// [`dhtm_scenario::SimSpec`]) instead. The historical behaviour — the raw
+/// [`EXPERIMENT_SEED`] as the workload seed, no per-cell derivation — is
+/// preserved.
 pub fn run_pair(
     design: DesignKind,
     workload_name: &str,
     cfg: &SystemConfig,
     commits: u64,
 ) -> SimulationResult {
-    let mut machine = Machine::new(cfg.clone());
-    let mut engine = build_engine(design, cfg);
-    let mut workload = workload_by_name(workload_name, EXPERIMENT_SEED);
-    let limits = RunLimits::evaluation().with_target_commits(commits);
-    Simulator::new().run(&mut machine, engine.as_mut(), workload.as_mut(), &limits)
+    ResolvedSpec::from_parts(
+        &design.into(),
+        workload_name,
+        cfg.clone(),
+        SpecLimits {
+            target_commits: commits,
+            ..SpecLimits::default()
+        },
+        EXPERIMENT_SEED,
+    )
+    .run()
 }
 
 /// Runs `designs` on `workload_name` and returns `(design, result)` pairs.

@@ -1,97 +1,69 @@
 //! The experiment matrix: the declarative cross product of engines,
 //! workloads, core counts and machine configurations, expanded into
-//! independently runnable cells with deterministic seeding.
+//! independently runnable cells — each carrying a complete, serializable
+//! [`SimSpec`] — with deterministic seeding.
 
-use dhtm::{DhtmEngine, DhtmOptions};
-use dhtm_baselines::build_engine;
-use dhtm_sim::engine::TxEngine;
-use dhtm_types::config::SystemConfig;
-use dhtm_types::policy::DesignKind;
+use dhtm_baselines::registry::{self, EngineId};
+use dhtm_scenario::{SimSpec, SpecLimits};
+use dhtm_types::config::{BaseConfig, ConfigOverlay, SystemConfig};
 
-use crate::{default_commits_for, experiment_config, quick_mode};
+use crate::{default_base, default_commits_for, quick_mode};
 
-/// Which transaction engine a cell runs: one of the paper's designs, or a
-/// named DHTM variant that [`DesignKind`] does not capture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum EngineSpec {
-    /// One of the six evaluated designs, built via
-    /// [`dhtm_baselines::build_engine`].
-    Design(DesignKind),
-    /// DHTM with instantaneous critical-path writes (the Section VI-D
-    /// ablation).
-    DhtmInstantWrites,
-}
-
-impl EngineSpec {
-    /// Label used in tables and result rows.
-    pub fn label(&self) -> &'static str {
-        match self {
-            EngineSpec::Design(d) => d.label(),
-            EngineSpec::DhtmInstantWrites => "DHTM-instant",
-        }
-    }
-
-    /// Builds the engine for a machine with configuration `cfg`.
-    pub fn build(&self, cfg: &SystemConfig) -> Box<dyn TxEngine> {
-        match self {
-            EngineSpec::Design(d) => build_engine(*d, cfg),
-            EngineSpec::DhtmInstantWrites => {
-                Box::new(DhtmEngine::with_options(cfg, DhtmOptions::instant_writes()))
-            }
-        }
-    }
-
-    /// Whether this engine is the SO normalisation baseline.
-    pub fn is_so_baseline(&self) -> bool {
-        matches!(self, EngineSpec::Design(DesignKind::SoftwareOnly))
-    }
-}
-
-impl From<DesignKind> for EngineSpec {
-    fn from(d: DesignKind) -> Self {
-        EngineSpec::Design(d)
-    }
-}
-
-/// A named machine configuration — one point on the matrix's config axis.
+/// A named machine configuration — one point on the matrix's config axis,
+/// expressed as a serializable base + overlay pair so every cell's spec
+/// round-trips through TOML/JSON.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConfigVariant {
     /// Short name used in tables and result rows ("default", "logbuf16",
     /// "bw2x", ...).
     pub name: String,
-    /// The configuration itself.
-    pub config: SystemConfig,
+    /// The named base configuration.
+    pub base: BaseConfig,
+    /// Sparse overrides applied on top of the base.
+    pub overlay: ConfigOverlay,
 }
 
 impl ConfigVariant {
     /// Creates a named configuration variant.
-    pub fn new(name: impl Into<String>, config: SystemConfig) -> Self {
+    pub fn new(name: impl Into<String>, base: BaseConfig, overlay: ConfigOverlay) -> Self {
         ConfigVariant {
             name: name.into(),
-            config,
+            base,
+            overlay,
         }
+    }
+
+    /// A named base with no overrides.
+    pub fn of_base(name: impl Into<String>, base: BaseConfig) -> Self {
+        ConfigVariant::new(name, base, ConfigOverlay::none())
     }
 
     /// The default experiment configuration (Table III, or the small test
     /// machine in quick mode).
     pub fn default_machine() -> Self {
-        ConfigVariant::new("default", experiment_config())
+        ConfigVariant::of_base("default", default_base())
     }
 
     /// The scaled-down test machine.
     pub fn small() -> Self {
-        ConfigVariant::new("small", SystemConfig::small_test())
+        ConfigVariant::of_base("small", BaseConfig::Small)
     }
 
     /// A beyond-the-paper "large" machine: double the LLC, a 128-entry log
     /// buffer and double the memory bandwidth, for scenario diversity in
     /// the scaling sweeps.
     pub fn large() -> Self {
-        let mut cfg = SystemConfig::isca18_baseline()
-            .with_log_buffer_entries(128)
-            .with_bandwidth_multiplier(2.0);
-        cfg.llc = dhtm_types::config::CacheGeometry::new(16 * 1024 * 1024, 16, cfg.l1.line_size);
-        ConfigVariant::new("large", cfg)
+        ConfigVariant::new(
+            "large",
+            BaseConfig::Isca18,
+            ConfigOverlay {
+                log_buffer_entries: Some(128),
+                bandwidth_multiplier: Some(2.0),
+                llc_capacity_bytes: Some(16 * 1024 * 1024),
+                llc_ways: Some(16),
+                ..ConfigOverlay::none()
+            },
+        )
     }
 
     /// The named small/default/large ladder used by the scaling experiment.
@@ -102,6 +74,11 @@ impl ConfigVariant {
         } else {
             vec![Self::small(), Self::default_machine(), Self::large()]
         }
+    }
+
+    /// The fully resolved configuration (base + overlay).
+    pub fn config(&self) -> SystemConfig {
+        self.overlay.apply(self.base.resolve())
     }
 }
 
@@ -128,11 +105,13 @@ impl CommitSpec {
 }
 
 /// A declarative experiment matrix: `engines × workloads × core_counts ×
-/// configs`.
+/// configs`. Engines are [`EngineId`]s resolved through the process-wide
+/// engine registry, so any registered variant — built-in or out-of-tree —
+/// can sit on the engine axis.
 #[derive(Debug, Clone)]
 pub struct Matrix {
     /// The engines to run (at least one).
-    pub engines: Vec<EngineSpec>,
+    pub engines: Vec<EngineId>,
     /// The workload names to run (at least one).
     pub workloads: Vec<String>,
     /// Core counts to sweep. Empty means "whatever each config specifies".
@@ -159,12 +138,12 @@ impl Matrix {
         }
     }
 
-    /// Sets the engine axis from design kinds or engine specs.
+    /// Sets the engine axis from design kinds, engine ids or name strings.
     #[must_use]
     pub fn engines<I, E>(mut self, engines: I) -> Self
     where
         I: IntoIterator<Item = E>,
-        E: Into<EngineSpec>,
+        E: Into<EngineId>,
     {
         self.engines = engines.into_iter().map(Into::into).collect();
         self
@@ -233,23 +212,33 @@ impl Matrix {
         let mut cells = Vec::new();
         for variant in &self.configs {
             let core_counts: Vec<usize> = if self.core_counts.is_empty() {
-                vec![variant.config.num_cores]
+                vec![variant.config().num_cores]
             } else {
                 self.core_counts.clone()
             };
             for workload in &self.workloads {
                 for &cores in &core_counts {
                     for engine in &self.engines {
-                        let config = variant.config.clone().with_num_cores(cores);
+                        let overlay = variant.overlay.with_num_cores(cores);
+                        let commits = self.commits.resolve(workload);
+                        let spec = SimSpec {
+                            engine: engine.clone(),
+                            workload: workload.clone(),
+                            base: variant.base,
+                            overlay,
+                            limits: SpecLimits {
+                                target_commits: commits,
+                                ..SpecLimits::default()
+                            },
+                            seed: self.seed,
+                        };
                         cells.push(Cell {
                             index: cells.len(),
-                            engine: *engine,
-                            workload: workload.clone(),
                             cores,
                             config_name: variant.name.clone(),
-                            config,
-                            commits: self.commits.resolve(workload),
-                            seed: cell_seed(self.seed, workload, cores),
+                            config: spec.config(),
+                            seed: spec.derived_seed(),
+                            spec,
                         });
                     }
                 }
@@ -265,26 +254,47 @@ impl Default for Matrix {
     }
 }
 
-/// One fully resolved simulation run: a point of the experiment matrix.
+/// One fully resolved simulation run: a point of the experiment matrix,
+/// carrying the complete serializable [`SimSpec`] it executes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     /// Position in matrix enumeration order (results are returned in this
     /// order regardless of which worker ran the cell).
     pub index: usize,
-    /// The engine to run.
-    pub engine: EngineSpec,
-    /// The workload name.
-    pub workload: String,
     /// Number of simulated cores.
     pub cores: usize,
     /// Name of the config variant.
     pub config_name: String,
-    /// The machine configuration (already adjusted to `cores`).
+    /// The resolved machine configuration (already adjusted to `cores`) —
+    /// derived from the spec, cached for inspection.
     pub config: SystemConfig,
-    /// Commit target for the run.
-    pub commits: u64,
-    /// Workload seed for the run.
+    /// The derived workload seed for the run (see
+    /// [`SimSpec::derived_seed`]).
     pub seed: u64,
+    /// The complete spec the cell runs.
+    pub spec: SimSpec,
+}
+
+impl Cell {
+    /// The cell's engine id.
+    pub fn engine(&self) -> &EngineId {
+        &self.spec.engine
+    }
+
+    /// The cell's workload name.
+    pub fn workload(&self) -> &str {
+        &self.spec.workload
+    }
+
+    /// The cell's commit target.
+    pub fn commits(&self) -> u64 {
+        self.spec.limits.target_commits
+    }
+
+    /// The engine's table label, from the registry metadata.
+    pub fn engine_label(&self) -> String {
+        registry::label_of(&self.spec.engine)
+    }
 }
 
 /// Deterministic per-cell seed: a content hash of the cell's workload-facing
@@ -296,7 +306,8 @@ pub struct Cell {
 /// so the curve isolates the config effect, exactly as the pre-harness
 /// binaries did with one fixed seed. The cell index and worker id are also
 /// excluded, so seeds are stable under matrix reordering and any `--jobs`
-/// value.
+/// value. ([`SimSpec::derived_seed`] is the same derivation at the spec
+/// level; this free function survives for callers holding raw coordinates.)
 pub fn cell_seed(base: u64, workload: &str, cores: usize) -> u64 {
     dhtm_types::seed::stable_cell_seed(base, workload, cores)
 }
@@ -304,6 +315,7 @@ pub fn cell_seed(base: u64, workload: &str, cores: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dhtm_types::policy::DesignKind;
 
     #[test]
     fn cells_cover_the_cross_product_in_order() {
@@ -316,9 +328,9 @@ mod tests {
         assert_eq!(cells.len(), 2 * 2 * 2);
         assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
         // Engine-adjacent: the first two cells differ only in the engine.
-        assert_eq!(cells[0].workload, cells[1].workload);
+        assert_eq!(cells[0].workload(), cells[1].workload());
         assert_eq!(cells[0].cores, cells[1].cores);
-        assert_ne!(cells[0].engine, cells[1].engine);
+        assert_ne!(cells[0].engine(), cells[1].engine());
     }
 
     #[test]
@@ -363,37 +375,65 @@ mod tests {
     }
 
     #[test]
+    fn cell_specs_are_complete_and_self_consistent() {
+        let m = Matrix::new()
+            .engines([
+                EngineId::from(DesignKind::Dhtm),
+                EngineId::new("dhtm-instant"),
+            ])
+            .workloads(["hash"])
+            .core_counts([2])
+            .config(ConfigVariant::small())
+            .commits(CommitSpec::Fixed(9));
+        for cell in m.cells() {
+            cell.spec.validate().expect("cell specs validate");
+            assert_eq!(cell.spec.config(), cell.config);
+            assert_eq!(cell.spec.derived_seed(), cell.seed);
+            assert_eq!(cell.spec.limits.target_commits, 9);
+            // Round-trip: a cell's spec is fully serializable.
+            let back = SimSpec::from_toml(&cell.spec.to_toml()).unwrap();
+            assert_eq!(back, cell.spec);
+        }
+    }
+
+    #[test]
     fn commit_spec_resolution() {
         assert_eq!(
             CommitSpec::PerWorkloadDefault.resolve("hash"),
-            default_commits_for("hash")
+            crate::default_commits_for("hash")
         );
         assert_eq!(
             CommitSpec::CappedDefault(64).resolve("hash"),
-            default_commits_for("hash").min(64)
+            crate::default_commits_for("hash").min(64)
         );
         assert_eq!(CommitSpec::Fixed(7).resolve("tpcc"), 7);
     }
 
     #[test]
-    fn engine_spec_builds_and_labels() {
-        let cfg = SystemConfig::small_test();
-        for kind in DesignKind::ALL {
-            let spec = EngineSpec::from(kind);
-            assert_eq!(spec.build(&cfg).design(), kind);
-            assert_eq!(spec.label(), kind.label());
-        }
-        let instant = EngineSpec::DhtmInstantWrites;
-        assert_eq!(instant.build(&cfg).design(), DesignKind::Dhtm);
-        assert_eq!(instant.label(), "DHTM-instant");
-        assert!(EngineSpec::Design(DesignKind::SoftwareOnly).is_so_baseline());
-        assert!(!instant.is_so_baseline());
+    fn engine_labels_come_from_the_registry() {
+        let m = Matrix::new()
+            .engines([
+                EngineId::from(DesignKind::SoftwareOnly),
+                EngineId::new("dhtm-instant"),
+            ])
+            .workloads(["queue"])
+            .config(ConfigVariant::small());
+        let cells = m.cells();
+        assert_eq!(cells[0].engine_label(), "SO");
+        assert_eq!(cells[1].engine_label(), "DHTM-instant");
     }
 
     #[test]
     fn large_config_variant_is_valid() {
         let v = ConfigVariant::large();
-        assert!(v.config.validate().is_ok());
-        assert_eq!(v.config.log_buffer_entries, 128);
+        assert!(v.config().validate().is_ok());
+        assert_eq!(v.config().log_buffer_entries, 128);
+        // The overlay reproduces the historical hand-built large config.
+        let mut legacy = SystemConfig::isca18_baseline()
+            .with_log_buffer_entries(128)
+            .with_bandwidth_multiplier(2.0);
+        legacy.llc =
+            dhtm_types::config::CacheGeometry::new(16 * 1024 * 1024, 16, legacy.l1.line_size);
+        assert_eq!(v.config(), legacy);
     }
 }

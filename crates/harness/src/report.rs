@@ -320,6 +320,31 @@ mod tests {
     }
 
     #[test]
+    fn normalisation_of_degenerate_rows_is_finite_zero() {
+        // Regression: zero-cycle and zero-commit cells (a crashed or
+        // cycle-capped run) must normalise to 0.0, never NaN or inf, in
+        // every SO-relative path.
+        let degenerate = [
+            // SO committed nothing.
+            vec![row("SO", "hash", 0, 1000), row("DHTM", "hash", 20, 1000)],
+            // SO never advanced a cycle.
+            vec![row("SO", "hash", 10, 0), row("DHTM", "hash", 20, 1000)],
+            // Both sides dead.
+            vec![row("SO", "hash", 0, 0), row("DHTM", "hash", 0, 0)],
+            // No SO row at all.
+            vec![row("DHTM", "hash", 20, 1000)],
+        ];
+        for rows in &degenerate {
+            let norm = so_normalised(rows, "DHTM", "hash", "small", 4);
+            assert!(norm.is_finite(), "non-finite normalisation from {rows:?}");
+            assert_eq!(norm, 0.0);
+        }
+        // The geometric mean over guarded values stays finite too.
+        assert!(geometric_mean(&[0.0, 0.0]).is_finite());
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
     fn geometric_mean_basics() {
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
         assert_eq!(geometric_mean(&[]), 0.0);

@@ -5,12 +5,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use dhtm_sim::driver::{RunLimits, Simulator};
-use dhtm_sim::machine::Machine;
 use dhtm_types::stats::RunStats;
 
 use crate::matrix::{Cell, Matrix};
-use crate::workload_by_name;
 
 /// One collected result row: the cell's coordinates plus the run statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,21 +38,27 @@ impl Row {
     }
 }
 
-/// Runs a single cell to completion on the calling thread.
+/// Runs a single cell to completion on the calling thread: the cell's
+/// [`dhtm_scenario::SimSpec`] is validated, resolved against the engine
+/// registry and executed.
+///
+/// # Panics
+///
+/// Panics if the cell's spec fails validation (an unregistered engine id
+/// or unknown workload on the matrix axes is a caller bug).
 pub fn run_cell(cell: &Cell) -> Row {
-    let mut machine = Machine::new(cell.config.clone());
-    let mut engine = cell.engine.build(&cell.config);
-    let mut workload = workload_by_name(&cell.workload, cell.seed);
-    let limits = RunLimits::evaluation().with_target_commits(cell.commits);
-    let result = Simulator::new().run(&mut machine, engine.as_mut(), workload.as_mut(), &limits);
+    let result = cell
+        .spec
+        .run()
+        .unwrap_or_else(|e| panic!("matrix cell {}: {e}", cell.index));
     Row {
         experiment: String::new(),
-        engine: cell.engine.label().to_string(),
-        workload: cell.workload.clone(),
+        engine: cell.engine_label(),
+        workload: cell.workload().to_string(),
         cores: cell.cores,
         config: cell.config_name.clone(),
         seed: cell.seed,
-        target_commits: cell.commits,
+        target_commits: cell.commits(),
         stats: result.stats,
     }
 }

@@ -1,0 +1,156 @@
+//! A streaming metrics sink over the [`SimObserver`] interface.
+//!
+//! Where [`dhtm_types::stats::RunStats`] is the *end-of-run* aggregate the
+//! driver produces, [`MetricsSink`] watches the run *as it executes*:
+//! commit timestamps stream in as they happen, abort reasons are tallied
+//! live, and the sink can report instantaneous throughput at any cut —
+//! which is what progress displays, long-run monitoring and windowed
+//! throughput series need. It is also the reference implementation of a
+//! non-trivial observer (the crash subsystem's profile recorder is the
+//! other).
+
+use dhtm_sim::observer::{SimObserver, StepContext};
+use dhtm_types::stats::AbortReason;
+
+/// Streaming per-run metrics collected through observer callbacks.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsSink {
+    /// Logical transactions fetched from the workload.
+    pub begins: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Aborted attempts, tallied per reason (indexed like
+    /// [`AbortReason::ALL`]).
+    aborts: [u64; AbortReason::ALL.len()],
+    /// Steps that advanced the durable-mutation clock.
+    pub durable_ticks: u64,
+    /// Total durable mutations seen (final clock value at the last tick).
+    pub durable_mutations: u64,
+    /// Armed crash points crossed.
+    pub crash_points: u64,
+    /// The simulated cycle of each commit, in commit order — the streaming
+    /// throughput series.
+    pub commit_cycles: Vec<u64>,
+}
+
+impl MetricsSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total aborted attempts across all reasons.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// Aborts recorded for one reason.
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        let idx = AbortReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("ALL is exhaustive");
+        self.aborts[idx]
+    }
+
+    /// Committed transactions per million cycles up to the latest commit
+    /// seen so far (0.0 before the first commit — never NaN/inf, matching
+    /// the [`dhtm_types::stats::RunStats::throughput_per_mcycle`] guard).
+    pub fn throughput_so_far(&self) -> f64 {
+        match self.commit_cycles.last() {
+            Some(&last) if last > 0 => self.commits as f64 * 1.0e6 / last as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Commits that landed in the half-open cycle window `[from, to)` —
+    /// the primitive for windowed throughput series.
+    pub fn commits_in_window(&self, from: u64, to: u64) -> u64 {
+        self.commit_cycles
+            .iter()
+            .filter(|&&c| from <= c && c < to)
+            .count() as u64
+    }
+}
+
+impl SimObserver for MetricsSink {
+    fn on_begin(&mut self, _ctx: &StepContext<'_>, _tx: &dhtm_sim::workload::Transaction) {
+        self.begins += 1;
+    }
+
+    fn on_commit(&mut self, ctx: &StepContext<'_>, _tx: &dhtm_sim::workload::Transaction) {
+        self.commits += 1;
+        self.commit_cycles.push(ctx.now);
+    }
+
+    fn on_abort(&mut self, _ctx: &StepContext<'_>, reason: AbortReason) {
+        let idx = AbortReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("ALL is exhaustive");
+        self.aborts[idx] += 1;
+    }
+
+    fn on_durable_tick(&mut self, ctx: &StepContext<'_>) {
+        self.durable_ticks += 1;
+        self.durable_mutations = self.durable_mutations.max(ctx.mutations_after);
+    }
+
+    fn on_crash_point(&mut self, _ctx: &StepContext<'_>, _point: u64) {
+        self.crash_points += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SimSpec;
+    use dhtm_types::config::BaseConfig;
+    use dhtm_types::policy::DesignKind;
+
+    #[test]
+    fn sink_streams_commits_and_matches_final_stats() {
+        let spec = SimSpec::builder(DesignKind::Dhtm, "hash")
+            .base(BaseConfig::Small)
+            .commits(10)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut sink = MetricsSink::new();
+        let result = spec.run_with_observer(&mut sink).unwrap();
+
+        assert_eq!(sink.commits, result.stats.committed);
+        assert_eq!(sink.total_aborts(), result.stats.total_aborts());
+        assert_eq!(sink.commit_cycles.len(), 10);
+        assert!(sink.commit_cycles.windows(2).all(|w| w[0] <= w[1]));
+        assert!(sink.begins >= sink.commits);
+        assert!(sink.durable_ticks > 0, "DHTM streams durable log records");
+        assert!(sink.throughput_so_far() > 0.0);
+        let last = *sink.commit_cycles.last().unwrap();
+        assert_eq!(sink.commits_in_window(0, last + 1), 10);
+    }
+
+    #[test]
+    fn observing_with_a_sink_does_not_change_the_run() {
+        let spec = SimSpec::builder(DesignKind::SoftwareOnly, "queue")
+            .base(BaseConfig::Small)
+            .commits(6)
+            .build()
+            .unwrap();
+        let plain = spec.run().unwrap().stats;
+        let mut sink = MetricsSink::new();
+        let observed = spec.run_with_observer(&mut sink).unwrap().stats;
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn empty_sink_reports_finite_zeroes() {
+        let sink = MetricsSink::new();
+        assert_eq!(sink.throughput_so_far(), 0.0);
+        assert_eq!(sink.total_aborts(), 0);
+        assert_eq!(sink.commits_in_window(0, u64::MAX), 0);
+        for r in AbortReason::ALL {
+            assert_eq!(sink.aborts_for(r), 0);
+        }
+    }
+}

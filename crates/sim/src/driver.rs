@@ -12,9 +12,14 @@
 //! form of the run: callers can advance it one event at a time with
 //! [`SimulationSession::step`], observe each step (commits, the machine, the
 //! persistent domain) between events, stop at an arbitrary point and collect
-//! partial statistics. [`Simulator::run`] is the uninstrumented
-//! run-to-completion wrapper; the crash-injection subsystem (`dhtm_crash`)
-//! is the primary stepping client.
+//! partial statistics. Streaming observation goes through the
+//! [`SimObserver`] interface ([`SimulationSession::step_with`] /
+//! [`Simulator::run_with_observer`]): observers receive begin/commit/abort/
+//! durable-tick/crash-point callbacks with immutable context only, so an
+//! observed run is bit-identical to an unobserved one. [`Simulator::run`]
+//! is the uninstrumented run-to-completion wrapper; the crash-injection
+//! subsystem (`dhtm_crash`) and the scenario metrics sink are the primary
+//! observer clients.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -27,6 +32,7 @@ use dhtm_types::stats::RunStats;
 
 use crate::engine::{StepOutcome, TxEngine};
 use crate::machine::Machine;
+use crate::observer::{NullObserver, SimObserver, StepContext};
 use crate::workload::{Transaction, TxOp, Workload};
 
 /// Termination conditions for a simulation run.
@@ -152,6 +158,22 @@ impl Simulator {
         session.into_result()
     }
 
+    /// Like [`Simulator::run`], with every semantic event streamed to
+    /// `observer`. The observer cannot perturb the run; the returned result
+    /// is bit-identical to an unobserved run.
+    pub fn run_with_observer(
+        &self,
+        machine: &mut Machine,
+        engine: &mut dyn TxEngine,
+        workload: &mut dyn Workload,
+        limits: &RunLimits,
+        observer: &mut dyn SimObserver,
+    ) -> SimulationResult {
+        let mut session = self.start(machine, engine, workload, limits);
+        session.run_to_completion_with(observer);
+        session.into_result()
+    }
+
     /// Starts a checkpointed, resumable session: the setup phase runs, the
     /// engine is initialised and the event heap is seeded, but no event is
     /// processed yet. Advance it with [`SimulationSession::step`] /
@@ -203,7 +225,7 @@ impl Simulator {
             mem_stats_before,
             log_records_before,
             finished: false,
-            observe_started: false,
+            armed_points: Vec::new(),
         }
     }
 }
@@ -227,14 +249,11 @@ pub enum StepEvent {
         core: CoreId,
         /// The core's local clock after the step.
         time: u64,
-        /// The transaction fetched from the workload at the start of this
-        /// step, if one was fetched — populated only when
-        /// [`SimulationSession::observe_started_transactions`] is on (the
-        /// clone is not free and the run loop itself never needs it).
-        started: Option<Transaction>,
         /// The transaction that committed in this step, if the step was a
         /// successful commit. Always populated (the driver owns the
         /// transaction at that point, so handing it out costs nothing).
+        /// For streaming observation of begins/aborts/durable ticks, pass a
+        /// [`SimObserver`] to [`SimulationSession::step_with`] instead.
         committed: Option<Transaction>,
     },
 }
@@ -260,7 +279,10 @@ pub struct SimulationSession<'a> {
     mem_stats_before: MemStats,
     log_records_before: u64,
     finished: bool,
-    observe_started: bool,
+    /// Crash points armed on the durable-mutation clock, sorted ascending;
+    /// used to fire [`SimObserver::on_crash_point`] when a step's mutation
+    /// span crosses one.
+    armed_points: Vec<u64>,
 }
 
 impl std::fmt::Debug for SimulationSession<'_> {
@@ -274,11 +296,20 @@ impl std::fmt::Debug for SimulationSession<'_> {
 }
 
 impl<'a> SimulationSession<'a> {
-    /// Turns on reporting of fetched transactions in
-    /// [`StepEvent::Progress::started`] (costs one transaction clone per
-    /// fetch; off by default).
-    pub fn observe_started_transactions(&mut self, on: bool) {
-        self.observe_started = on;
+    /// Arms the persistent domain to capture its exact durable image at
+    /// each of `points` on the durable-mutation clock, and remembers the
+    /// points so [`SimObserver::on_crash_point`] fires when a step crosses
+    /// one. Collect the images from the domain
+    /// (`take_crash_captures`) after the run.
+    pub fn arm_crash_points(&mut self, points: &[u64]) {
+        let mut armed: Vec<u64> = points.to_vec();
+        armed.sort_unstable();
+        armed.dedup();
+        self.machine
+            .mem
+            .domain_mut()
+            .arm_crash_captures(armed.iter().copied());
+        self.armed_points = armed;
     }
 
     /// The scheduled time of the next event, i.e. the cycle at which the
@@ -321,6 +352,13 @@ impl<'a> SimulationSession<'a> {
     /// Processes the next event. Returns what happened; once the run's
     /// limits are reached every further call returns [`StepEvent::Finished`].
     pub fn step(&mut self) -> StepEvent {
+        self.step_with(&mut NullObserver)
+    }
+
+    /// Processes the next event, streaming its semantic events to
+    /// `observer`. Observation is strictly read-only: stepping with any
+    /// observer is bit-identical to stepping with none.
+    pub fn step_with(&mut self, observer: &mut dyn SimObserver) -> StepEvent {
         if self.finished {
             return StepEvent::Finished;
         }
@@ -338,15 +376,15 @@ impl<'a> SimulationSession<'a> {
             return StepEvent::Finished;
         }
         let core = CoreId::new(core_idx);
-        let mut started = None;
+        let mutations_before = self.machine.mem.domain().mutation_count();
+        let mut fetched = false;
         let mut committed = None;
+        let mut aborted_reason = None;
 
         // Ensure the core has a transaction to work on.
         if self.cores[core_idx].tx.is_none() {
             let tx = self.workload.next_transaction(core);
-            if self.observe_started {
-                started = Some(tx.clone());
-            }
+            fetched = true;
             self.cores[core_idx].tx = Some(tx);
             self.cores[core_idx].op_idx = 0;
             self.cores[core_idx].begun = false;
@@ -433,15 +471,48 @@ impl<'a> SimulationSession<'a> {
                 self.cores[core_idx].op_idx = 0;
                 self.cores[core_idx].begun = false;
                 self.cores[core_idx].attempts = attempts.saturating_add(1);
+                aborted_reason = Some(reason);
             }
         }
 
         let t = self.cores[core_idx].time;
         self.events.push(Reverse((t, core_idx)));
+
+        // ---- Observer callbacks: all simulated state is final for this
+        // step, everything handed out is immutable. Fixed order: begin,
+        // durable tick, crash points (ascending), then commit/abort. ----
+        let mutations_after = self.machine.mem.domain().mutation_count();
+        let ctx = StepContext {
+            core,
+            now,
+            core_time: t,
+            total_committed: self.total_committed,
+            mutations_before,
+            mutations_after,
+            domain: self.machine.mem.domain(),
+        };
+        if fetched {
+            let tx = self.cores[core_idx].tx.as_ref().expect("just fetched");
+            observer.on_begin(&ctx, tx);
+        }
+        if mutations_after > mutations_before {
+            observer.on_durable_tick(&ctx);
+            for &point in &self.armed_points {
+                if mutations_before < point && point <= mutations_after {
+                    observer.on_crash_point(&ctx, point);
+                }
+            }
+        }
+        if let Some(tx) = &committed {
+            observer.on_commit(&ctx, tx);
+        }
+        if let Some(reason) = aborted_reason {
+            observer.on_abort(&ctx, reason);
+        }
+
         StepEvent::Progress {
             core,
             time: t,
-            started,
             committed,
         }
     }
@@ -449,6 +520,12 @@ impl<'a> SimulationSession<'a> {
     /// Steps until the run's limits are reached.
     pub fn run_to_completion(&mut self) {
         while !matches!(self.step(), StepEvent::Finished) {}
+    }
+
+    /// Steps until the run's limits are reached, streaming every semantic
+    /// event to `observer`.
+    pub fn run_to_completion_with(&mut self, observer: &mut dyn SimObserver) {
+        while !matches!(self.step_with(observer), StepEvent::Finished) {}
     }
 
     /// Collects the result accumulated so far: the per-core statistic
@@ -738,46 +815,90 @@ mod tests {
             let limits = RunLimits::quick().with_target_commits(50);
             let sim = Simulator::new();
             let mut session = sim.start(&mut machine, &mut engine, &mut workload, &limits);
-            session.observe_started_transactions(true);
-            while let StepEvent::Progress { .. } = session.step() {}
+            let mut observer = CountingObserver::default();
+            while let StepEvent::Progress { .. } = session.step_with(&mut observer) {}
             session.into_result().stats
         };
         assert_eq!(run_plain(), run_stepped());
     }
 
+    /// An observer that counts every callback, for the parity and
+    /// reporting tests.
+    #[derive(Debug, Default)]
+    struct CountingObserver {
+        begins: u64,
+        commits: u64,
+        aborts: u64,
+        durable_ticks: u64,
+        crash_points: Vec<u64>,
+    }
+
+    impl SimObserver for CountingObserver {
+        fn on_begin(&mut self, _ctx: &StepContext<'_>, tx: &Transaction) {
+            assert!(!tx.ops.is_empty());
+            self.begins += 1;
+        }
+        fn on_commit(&mut self, ctx: &StepContext<'_>, tx: &Transaction) {
+            assert!(!tx.ops.is_empty());
+            assert!(ctx.total_committed > self.commits, "count is post-step");
+            self.commits += 1;
+        }
+        fn on_abort(&mut self, _ctx: &StepContext<'_>, _reason: dhtm_types::stats::AbortReason) {
+            self.aborts += 1;
+        }
+        fn on_durable_tick(&mut self, ctx: &StepContext<'_>) {
+            assert!(ctx.mutations_after > ctx.mutations_before);
+            self.durable_ticks += 1;
+        }
+        fn on_crash_point(&mut self, ctx: &StepContext<'_>, point: u64) {
+            assert!(ctx.mutations_before < point && point <= ctx.mutations_after);
+            self.crash_points.push(point);
+        }
+    }
+
     #[test]
-    fn session_reports_commits_and_started_transactions() {
+    fn observer_streams_begins_and_commits() {
         let mut machine = Machine::new(SystemConfig::small_test().with_num_cores(2));
         let mut engine = PassthroughEngine::default();
         let mut workload = CounterWorkload::new(2);
         let limits = RunLimits::quick().with_target_commits(6);
         let sim = Simulator::new();
         let mut session = sim.start(&mut machine, &mut engine, &mut workload, &limits);
-        session.observe_started_transactions(true);
-        let mut started = 0;
-        let mut committed = 0;
-        loop {
-            match session.step() {
-                StepEvent::Finished => break,
-                StepEvent::Progress {
-                    started: s,
-                    committed: c,
-                    ..
-                } => {
-                    if s.is_some() {
-                        started += 1;
-                    }
-                    if let Some(tx) = c {
-                        assert!(!tx.ops.is_empty());
-                        committed += 1;
-                    }
-                }
-            }
-        }
-        assert_eq!(committed, 6);
-        assert!(started >= committed, "every committed tx was started");
+        let mut observer = CountingObserver::default();
+        session.run_to_completion_with(&mut observer);
+        assert_eq!(observer.commits, 6);
+        assert!(
+            observer.begins >= observer.commits,
+            "every committed tx was begun"
+        );
         assert_eq!(session.total_committed(), 6);
         assert!(session.is_finished());
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_unobserved() {
+        let run = |observe: bool| {
+            let mut machine = Machine::new(SystemConfig::small_test());
+            let mut engine = PassthroughEngine::default();
+            let mut workload = CounterWorkload::new(4);
+            let limits = RunLimits::quick().with_target_commits(40);
+            let sim = Simulator::new();
+            if observe {
+                let mut observer = CountingObserver::default();
+                sim.run_with_observer(
+                    &mut machine,
+                    &mut engine,
+                    &mut workload,
+                    &limits,
+                    &mut observer,
+                )
+                .stats
+            } else {
+                sim.run(&mut machine, &mut engine, &mut workload, &limits)
+                    .stats
+            }
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
@@ -802,6 +923,101 @@ mod tests {
         // Partial statistics can be collected at the cut.
         let partial = session.into_result().stats;
         assert_eq!(partial.committed, committed_at_cut);
+    }
+
+    /// A passthrough engine whose commits write one word durably — enough
+    /// to tick the mutation clock for the crash-point arming test.
+    #[derive(Debug, Default)]
+    struct DurableTickEngine {
+        inner: PassthroughEngine,
+    }
+
+    impl TxEngine for DurableTickEngine {
+        fn design(&self) -> DesignKind {
+            self.inner.design()
+        }
+        fn init(&mut self, machine: &mut Machine) {
+            self.inner.init(machine);
+        }
+        fn begin(
+            &mut self,
+            machine: &mut Machine,
+            core: CoreId,
+            locks: &[LockId],
+            now: u64,
+        ) -> StepOutcome {
+            self.inner.begin(machine, core, locks, now)
+        }
+        fn read(
+            &mut self,
+            machine: &mut Machine,
+            core: CoreId,
+            addr: Address,
+            now: u64,
+        ) -> StepOutcome {
+            self.inner.read(machine, core, addr, now)
+        }
+        fn write(
+            &mut self,
+            machine: &mut Machine,
+            core: CoreId,
+            addr: Address,
+            value: u64,
+            now: u64,
+        ) -> StepOutcome {
+            self.inner.write(machine, core, addr, value, now)
+        }
+        fn commit(&mut self, machine: &mut Machine, core: CoreId, now: u64) -> StepOutcome {
+            let n = self.inner.committed;
+            machine
+                .mem
+                .domain_mut()
+                .write_word(Address::new(0x8_0000 + n * 8), n);
+            self.inner.commit(machine, core, now)
+        }
+        fn last_tx_stats(&mut self, core: CoreId) -> TxStats {
+            self.inner.last_tx_stats(core)
+        }
+    }
+
+    #[test]
+    fn armed_crash_points_fire_observer_and_capture_images() {
+        // Learn the run's total durable mutations, then re-run (same seed,
+        // deterministic) with points armed through the session.
+        let total = {
+            let mut machine = Machine::new(SystemConfig::small_test());
+            let mut engine = DurableTickEngine::default();
+            let mut workload = CounterWorkload::new(4);
+            let limits = RunLimits::quick().with_target_commits(60);
+            Simulator::new().run(&mut machine, &mut engine, &mut workload, &limits);
+            machine.mem.domain().mutation_count()
+        };
+        assert!(total > 0, "durable commits tick the mutation clock");
+        let points = [total / 3, total / 2];
+
+        let mut machine = Machine::new(SystemConfig::small_test());
+        let mut engine = DurableTickEngine::default();
+        let mut workload = CounterWorkload::new(4);
+        let limits = RunLimits::quick().with_target_commits(60);
+        let sim = Simulator::new();
+        let mut session = sim.start(&mut machine, &mut engine, &mut workload, &limits);
+        session.arm_crash_points(&points);
+        let mut observer = CountingObserver::default();
+        session.run_to_completion_with(&mut observer);
+        drop(session);
+
+        let mut fired = observer.crash_points.clone();
+        fired.sort_unstable();
+        let mut expected = points.to_vec();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(fired, expected, "every armed point fires exactly once");
+        let captures = machine.mem.domain_mut().take_crash_captures();
+        assert_eq!(captures.len(), expected.len());
+        for ((point, image), want) in captures.iter().zip(&expected) {
+            assert_eq!(point, want);
+            assert_eq!(image.mutation_count(), *want);
+        }
     }
 
     #[test]

@@ -37,12 +37,14 @@ pub mod driver;
 pub mod engine;
 pub mod locks;
 pub mod machine;
+pub mod observer;
 pub mod workload;
 
 pub use driver::{RunLimits, SimulationResult, Simulator};
 pub use engine::{StepOutcome, TxEngine};
 pub use locks::{LockId, LockTable};
 pub use machine::Machine;
+pub use observer::{NullObserver, SimObserver, StepContext};
 pub use workload::{Transaction, TxOp, Workload};
 
 /// Convenient glob-import surface for downstream crates and examples.
@@ -51,6 +53,7 @@ pub mod prelude {
     pub use crate::engine::{StepOutcome, TxEngine};
     pub use crate::locks::{LockId, LockTable};
     pub use crate::machine::Machine;
+    pub use crate::observer::{NullObserver, SimObserver, StepContext};
     pub use crate::workload::{Transaction, TxOp, Workload};
     pub use dhtm_types::config::SystemConfig;
     pub use dhtm_types::ids::{CoreId, TxId};

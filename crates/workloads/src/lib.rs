@@ -74,6 +74,17 @@ pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Workload>> {
     }
 }
 
+/// All eight workload names, in the paper's order.
+pub const NAMES: [&str; 8] = [
+    "queue", "hash", "sdg", "sps", "btree", "rbtree", "tatp", "tpcc",
+];
+
+/// Whether `name` resolves via [`by_name`], without paying for workload
+/// construction (spec validation calls this per cell).
+pub fn is_known(name: &str) -> bool {
+    NAMES.contains(&name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,7 @@
 
 use dhtm_harness::matrix::{CommitSpec, ConfigVariant, Matrix};
 use dhtm_harness::runner::{default_jobs, run_matrix, Row};
-use dhtm_types::config::SystemConfig;
+use dhtm_types::config::BaseConfig;
 use dhtm_types::policy::DesignKind;
 
 fn main() {
@@ -20,10 +20,7 @@ fn main() {
     let matrix = Matrix::new()
         .engines(DesignKind::ALL)
         .workloads([workload_name.clone()])
-        .config(ConfigVariant::new(
-            "baseline",
-            SystemConfig::isca18_baseline(),
-        ))
+        .config(ConfigVariant::of_base("baseline", BaseConfig::Isca18))
         .commits(CommitSpec::Fixed(150))
         .seed(7);
     let rows = run_matrix(&matrix, default_jobs());

@@ -13,6 +13,7 @@ pub use dhtm_crash as crash;
 pub use dhtm_harness as harness;
 pub use dhtm_htm as htm;
 pub use dhtm_nvm as nvm;
+pub use dhtm_scenario as scenario;
 pub use dhtm_sim as sim;
 pub use dhtm_types as types;
 pub use dhtm_workloads as workloads;
