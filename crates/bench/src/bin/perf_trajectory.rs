@@ -1,0 +1,283 @@
+//! `perf_trajectory` — the simulator's own performance, recorded per PR.
+//!
+//! Runs the quick-mode perf matrix (every engine × two micro-benchmarks on
+//! the small test machine) through the harness, measures wall-clock per
+//! engine and reports the simulator's throughput in *driver steps per
+//! second* (`RunStats::steps` over elapsed time). The result is written as
+//! JSON (`BENCH_PR5.json` at the repo root by default): each PR appends a
+//! point to the trajectory, so "did this PR make the simulator faster or
+//! slower?" has a recorded answer instead of a guess.
+//!
+//! Simulated results are asserted, not measured: every cell must commit its
+//! full target, so a perf number can never come from a silently truncated
+//! run. With `--check REF.json` the run fails (exit 1) if its aggregate
+//! steps/sec regresses more than `--tolerance` percent (default 25) below
+//! the reference file's — the CI `perf` job points this at the checked-in
+//! trajectory file. The reference number is hardware-sensitive: refresh the
+//! checked-in file when the CI runner class changes.
+//!
+//! Usage: `perf_trajectory [--out PATH] [--check REF.json]
+//! [--tolerance PCT] [--repeat N] [--point NAME]`
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dhtm_harness::matrix::{CommitSpec, ConfigVariant, Matrix};
+use dhtm_harness::runner::{run_matrix, Row};
+use dhtm_types::policy::DesignKind;
+
+/// Workloads of the perf matrix: one pointer-chasing and one queue-shaped
+/// micro-benchmark — together they exercise the cache, channel, log and
+/// conflict paths the data-structure work targets.
+const WORKLOADS: [&str; 2] = ["hash", "queue"];
+/// Commit target per cell: small enough for seconds-long CI runs, large
+/// enough that steady-state dominates setup.
+const COMMITS: u64 = 30;
+
+struct Opts {
+    out: PathBuf,
+    check: Option<PathBuf>,
+    tolerance_percent: f64,
+    repeat: usize,
+    point: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            out: PathBuf::from("BENCH_PR5.json"),
+            check: None,
+            tolerance_percent: 25.0,
+            repeat: 3,
+            point: "PR5".to_string(),
+        }
+    }
+}
+
+const USAGE: &str = "options:
+  --out PATH        where to write the trajectory JSON (default BENCH_PR5.json)
+  --check REF.json  fail if aggregate steps/sec regresses > tolerance vs REF
+  --tolerance PCT   allowed regression in percent (default 25)
+  --repeat N        timing repetitions per engine, fastest wins (default 3)
+  --point NAME      trajectory point label (default PR5)
+  --help            print this help";
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            "--check" => opts.check = Some(PathBuf::from(value("--check")?)),
+            "--tolerance" => {
+                let v = value("--tolerance")?;
+                opts.tolerance_percent = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && (0.0..100.0).contains(t))
+                    .ok_or_else(|| {
+                        format!("--tolerance needs a percentage in [0,100), got '{v}'")
+                    })?;
+            }
+            "--repeat" => {
+                let v = value("--repeat")?;
+                opts.repeat = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--repeat needs a positive integer, got '{v}'"))?;
+            }
+            "--point" => opts.point = value("--point")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One engine's measured trajectory entry.
+struct EnginePoint {
+    label: String,
+    cells: usize,
+    steps: u64,
+    committed: u64,
+    wall_secs: f64,
+}
+
+impl EnginePoint {
+    fn steps_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.steps as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The fixed perf matrix for one engine: quick-mode machine, fixed commit
+/// targets, serial execution (timing needs an unshared core).
+fn engine_matrix(design: DesignKind) -> Matrix {
+    Matrix::new()
+        .engines([design])
+        .workloads(WORKLOADS)
+        .config(ConfigVariant::small())
+        .commits(CommitSpec::Fixed(COMMITS))
+}
+
+fn measure_engine(design: DesignKind, repeat: usize) -> EnginePoint {
+    let matrix = engine_matrix(design);
+    let mut best: Option<(f64, Vec<Row>)> = None;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let rows = run_matrix(&matrix, 1);
+        let wall = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(b, _)| wall < *b) {
+            best = Some((wall, rows));
+        }
+    }
+    let (wall_secs, rows) = best.expect("repeat >= 1");
+    for row in &rows {
+        assert_eq!(
+            row.stats.committed, row.target_commits,
+            "cell {}/{} did not reach its commit target — the perf number \
+             would be measuring a truncated run",
+            row.engine, row.workload
+        );
+    }
+    EnginePoint {
+        label: rows.first().map_or_else(String::new, |r| r.engine.clone()),
+        cells: rows.len(),
+        steps: rows.iter().map(|r| r.stats.steps).sum(),
+        committed: rows.iter().map(|r| r.stats.committed).sum(),
+        wall_secs,
+    }
+}
+
+fn render_json(point: &str, engines: &[EnginePoint]) -> String {
+    use std::fmt::Write as _;
+    let total_steps: u64 = engines.iter().map(|e| e.steps).sum();
+    let total_wall: f64 = engines.iter().map(|e| e.wall_secs).sum();
+    let aggregate = if total_wall > 0.0 {
+        total_steps as f64 / total_wall
+    } else {
+        0.0
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"dhtm-perf-trajectory-v1\",");
+    let _ = writeln!(out, "  \"point\": \"{point}\",");
+    let _ = writeln!(out, "  \"mode\": \"quick\",");
+    let _ = writeln!(
+        out,
+        "  \"matrix\": \"{} engines x {} x small, {} commits/cell\",",
+        engines.len(),
+        WORKLOADS.join("+"),
+        COMMITS
+    );
+    let _ = writeln!(out, "  \"engines\": [");
+    for (i, e) in engines.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"engine\": \"{}\", \"cells\": {}, \"steps\": {}, \
+             \"committed\": {}, \"wall_ms\": {:.3}, \"steps_per_sec\": {:.1}}}{}",
+            e.label,
+            e.cells,
+            e.steps,
+            e.committed,
+            e.wall_secs * 1e3,
+            e.steps_per_sec(),
+            if i + 1 < engines.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"total_steps\": {total_steps},");
+    let _ = writeln!(out, "  \"total_wall_ms\": {:.3},", total_wall * 1e3);
+    let _ = writeln!(out, "  \"aggregate_steps_per_sec\": {aggregate:.1}");
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"aggregate_steps_per_sec": <number>` from a trajectory file
+/// without a JSON parser (the repo vendors no serde).
+fn reference_steps_per_sec(text: &str) -> Option<f64> {
+    let key = "\"aggregate_steps_per_sec\":";
+    let at = text.find(key)? + key.len();
+    let tail = &text[at..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE ".contains(c)))
+        .unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == USAGE { 0 } else { 2 });
+        }
+    };
+
+    // Read the reference before writing, so `--check X --out X` compares
+    // against the checked-in point and then replaces it.
+    let reference = opts.check.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read reference {}: {e}", path.display()));
+        reference_steps_per_sec(&text).unwrap_or_else(|| {
+            panic!(
+                "reference {} carries no aggregate_steps_per_sec field",
+                path.display()
+            )
+        })
+    });
+
+    println!(
+        "# perf trajectory {}: {} x {:?} on the small machine, {} commits/cell, best of {}",
+        opts.point,
+        DesignKind::ALL.len(),
+        WORKLOADS,
+        COMMITS,
+        opts.repeat
+    );
+    let mut engines = Vec::new();
+    for design in DesignKind::ALL {
+        let point = measure_engine(design, opts.repeat);
+        println!(
+            "| {:<12} | {:>9} steps | {:>9.3} ms | {:>12.0} steps/s |",
+            point.label,
+            point.steps,
+            point.wall_secs * 1e3,
+            point.steps_per_sec()
+        );
+        engines.push(point);
+    }
+
+    let json = render_json(&opts.point, &engines);
+    let aggregate = reference_steps_per_sec(&json).expect("own emitter carries the field");
+    std::fs::write(&opts.out, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out.display()));
+    println!(
+        "aggregate: {aggregate:.0} steps/s  (wrote {})",
+        opts.out.display()
+    );
+
+    if let Some(reference) = reference {
+        let floor = reference * (1.0 - opts.tolerance_percent / 100.0);
+        if aggregate < floor {
+            eprintln!(
+                "PERF REGRESSION: aggregate {aggregate:.0} steps/s is more than \
+                 {:.0}% below the reference {reference:.0} steps/s (floor {floor:.0})",
+                opts.tolerance_percent
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "perf gate: {aggregate:.0} steps/s >= floor {floor:.0} \
+             (reference {reference:.0}, tolerance {:.0}%)",
+            opts.tolerance_percent
+        );
+    }
+}

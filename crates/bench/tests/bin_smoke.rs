@@ -46,3 +46,54 @@ bin_smoke_tests! {
     ablation_instant_writes_runs => "ablation_instant_writes",
     crash_matrix_runs => "crash_matrix",
 }
+
+/// The perf-trajectory binary runs, writes valid-looking JSON where asked
+/// (not at the repo root — the checked-in trajectory must stay untouched by
+/// tests), and its regression gate accepts its own fresh output.
+#[test]
+fn perf_trajectory_runs_and_self_checks() {
+    let exe = env!("CARGO_BIN_EXE_perf_trajectory");
+    let out = std::env::temp_dir().join(format!("bench_smoke_{}.json", std::process::id()));
+    let output = Command::new(exe)
+        .args([
+            "--out",
+            out.to_str().unwrap(),
+            "--repeat",
+            "1",
+            "--point",
+            "smoke",
+        ])
+        .output()
+        .expect("spawn perf_trajectory");
+    assert!(
+        output.status.success(),
+        "perf_trajectory failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json = std::fs::read_to_string(&out).expect("trajectory file written");
+    assert!(json.contains("\"aggregate_steps_per_sec\""));
+    assert!(json.contains("\"point\": \"smoke\""));
+    assert!(json.contains("\"engine\": \"DHTM\""));
+
+    // Re-run with the fresh file as the reference: same machine, same
+    // matrix — the gate must pass.
+    let gate = Command::new(exe)
+        .args([
+            "--out",
+            out.to_str().unwrap(),
+            "--check",
+            out.to_str().unwrap(),
+            "--repeat",
+            "1",
+            "--tolerance",
+            "60",
+        ])
+        .output()
+        .expect("spawn perf_trajectory --check");
+    assert!(
+        gate.status.success(),
+        "self-check gate failed:\n{}",
+        String::from_utf8_lossy(&gate.stderr)
+    );
+    let _ = std::fs::remove_file(&out);
+}

@@ -64,18 +64,41 @@ impl DirectoryEntry {
         self.sharers.count_ones()
     }
 
-    /// Iterates over the sharer core ids.
+    /// Iterates over the sharer core ids (allocates; prefer
+    /// [`DirectoryEntry::sharers_iter`] on hot paths).
     pub fn sharer_ids(&self) -> Vec<CoreId> {
-        (0..64)
-            .filter(|i| self.sharers & (1 << i) != 0)
-            .map(CoreId::new)
-            .collect()
+        self.sharers_iter().collect()
+    }
+
+    /// Iterates over the sharer core ids in ascending order without
+    /// allocating: one bit-scan per sharer.
+    pub fn sharers_iter(&self) -> impl Iterator<Item = CoreId> + 'static {
+        let mut mask = self.sharers;
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                return None;
+            }
+            let bit = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(CoreId::new(bit))
+        })
+    }
+
+    /// The lowest-numbered sharer, if any (the directory's notion of "the"
+    /// owner for forwarding, matching the first element of
+    /// [`DirectoryEntry::sharer_ids`]).
+    pub fn first_sharer(&self) -> Option<CoreId> {
+        if self.sharers == 0 {
+            None
+        } else {
+            Some(CoreId::new(self.sharers.trailing_zeros() as usize))
+        }
     }
 
     /// The single owner, if the directory state implies one.
     pub fn owner(&self) -> Option<CoreId> {
         if self.state.is_exclusive_like() && self.sharer_count() == 1 {
-            self.sharer_ids().into_iter().next()
+            self.first_sharer()
         } else {
             None
         }

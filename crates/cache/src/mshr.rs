@@ -3,8 +3,10 @@
 //! The paper's configuration provisions 32 MSHRs (Table III). With in-order
 //! cores the MSHRs rarely throttle execution, but the structure is modelled
 //! so that miss concurrency is bounded and can be reported.
-
-use std::collections::HashSet;
+//!
+//! The file is a small inline array (like the hardware it models): with a
+//! few dozen registers a linear tag scan beats a hash set on every axis —
+//! no hashing, no allocation after construction, cache-friendly probes.
 
 use dhtm_types::addr::LineAddr;
 
@@ -12,7 +14,8 @@ use dhtm_types::addr::LineAddr;
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    outstanding: HashSet<LineAddr>,
+    /// Outstanding miss tags; allocated once to `capacity`, never grows.
+    outstanding: Vec<LineAddr>,
     allocation_failures: u64,
     peak: usize,
 }
@@ -27,7 +30,7 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR capacity must be positive");
         MshrFile {
             capacity,
-            outstanding: HashSet::new(),
+            outstanding: Vec::with_capacity(capacity),
             allocation_failures: 0,
             peak: 0,
         }
@@ -56,14 +59,16 @@ impl MshrFile {
             self.allocation_failures += 1;
             return false;
         }
-        self.outstanding.insert(line);
+        self.outstanding.push(line);
         self.peak = self.peak.max(self.outstanding.len());
         true
     }
 
     /// Releases the MSHR for `line` once the fill completes.
     pub fn release(&mut self, line: LineAddr) {
-        self.outstanding.remove(&line);
+        if let Some(pos) = self.outstanding.iter().position(|&l| l == line) {
+            self.outstanding.swap_remove(pos);
+        }
     }
 
     /// Number of allocation attempts that failed because the file was full.

@@ -1,11 +1,25 @@
 //! A generic set-associative cache array with true-LRU replacement.
-
-use std::collections::HashMap;
+//!
+//! # Layout: fixed-way flat array
+//!
+//! The backing store is one contiguous slot array of `num_sets × ways`
+//! entries, allocated once at construction: set `s` owns the slot range
+//! `[s·ways, (s+1)·ways)` and keeps its resident lines in a dense prefix of
+//! that range (`set_len[s]` slots). Tags (the line address) and LRU stamps
+//! live inline in the slots, so a probe is a short linear scan over at most
+//! `ways` contiguous entries — no hashing, no pointer chasing — and inserts,
+//! removals and evictions never allocate.
+//!
+//! Within a set the prefix is maintained with push/swap-remove exactly like
+//! the historical `Vec<Slot>` per set, so every observable order (probe
+//! order, [`SetAssocCache::iter`], [`SetAssocCache::drain_filter`]) is
+//! bit-identical to the old representation; victim selection depends only on
+//! the globally unique LRU stamps and is order-free to begin with.
 
 use dhtm_types::addr::LineAddr;
 use dhtm_types::config::CacheGeometry;
 
-/// One occupied way of a set.
+/// One occupied way of a set: inline tag, LRU stamp and payload.
 #[derive(Debug, Clone)]
 struct Slot<T> {
     line: LineAddr,
@@ -22,21 +36,40 @@ struct Slot<T> {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<T> {
     geometry: CacheGeometry,
-    sets: Vec<Vec<Slot<T>>>,
+    /// `num_sets × ways` slots; set `s` occupies `slots[s*ways..(s+1)*ways]`
+    /// with its resident lines packed into the first `set_len[s]` positions.
+    slots: Box<[Option<Slot<T>>]>,
+    /// Occupied-prefix length per set.
+    set_len: Box<[u32]>,
+    /// `num_sets - 1`: set index is `line & set_mask` (sets are a power of
+    /// two, checked by [`CacheGeometry`]).
+    set_mask: u64,
+    len: usize,
     use_clock: u64,
-    // Secondary index for O(1) membership checks: line -> set index.
-    index: HashMap<LineAddr, usize>,
 }
 
 impl<T> SetAssocCache<T> {
     /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's set count is not a power of two — the
+    /// mask-based set index depends on it, and a `CacheGeometry` built as a
+    /// struct literal bypasses `CacheGeometry::new`'s own check.
     pub fn new(geometry: CacheGeometry) -> Self {
         let num_sets = geometry.num_sets();
+        assert!(
+            num_sets.is_power_of_two(),
+            "number of sets ({num_sets}) must be a power of two"
+        );
+        let total = num_sets * geometry.ways;
         SetAssocCache {
             geometry,
-            sets: (0..num_sets).map(|_| Vec::new()).collect(),
+            slots: (0..total).map(|_| None).collect(),
+            set_len: vec![0u32; num_sets].into_boxed_slice(),
+            set_mask: num_sets as u64 - 1,
+            len: 0,
             use_clock: 0,
-            index: HashMap::new(),
         }
     }
 
@@ -47,16 +80,32 @@ impl<T> SetAssocCache<T> {
 
     /// Number of lines currently resident.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.len
     }
 
     /// Whether the cache holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len == 0
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.raw() % self.geometry.num_sets() as u64) as usize
+        // `LineAddr` is a line *number* (byte address / line size) by
+        // construction — see `Address::line` / `LineAddr::from_base` — so
+        // masking can never alias two byte offsets of one line into
+        // different sets.
+        debug_assert_eq!(
+            line.raw() & self.set_mask,
+            line.raw() % (self.set_mask + 1),
+            "set mask must agree with the modulo it replaces"
+        );
+        (line.raw() & self.set_mask) as usize
+    }
+
+    /// The slot range backing `line`'s set and its occupied length.
+    fn set_range(&self, line: LineAddr) -> (usize, usize) {
+        let base = self.set_index(line) * self.geometry.ways;
+        let len = self.set_len[self.set_index(line)] as usize;
+        (base, len)
     }
 
     fn tick(&mut self) -> u64 {
@@ -64,39 +113,43 @@ impl<T> SetAssocCache<T> {
         self.use_clock
     }
 
+    /// Position of `line` within its set's occupied prefix.
+    fn position(&self, base: usize, len: usize, line: LineAddr) -> Option<usize> {
+        self.slots[base..base + len]
+            .iter()
+            .position(|s| s.as_ref().expect("occupied prefix").line == line)
+    }
+
     /// Whether `line` is resident.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.index.contains_key(&line)
+        let (base, len) = self.set_range(line);
+        self.position(base, len, line).is_some()
     }
 
     /// Returns a reference to the entry for `line`, if resident, updating its
     /// LRU position.
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
-        let set = self.set_index(line);
+        let (base, len) = self.set_range(line);
+        let pos = self.position(base, len, line)?;
         let clock = self.tick();
-        self.sets[set].iter_mut().find(|s| s.line == line).map(|s| {
-            s.last_use = clock;
-            &mut s.entry
-        })
+        let slot = self.slots[base + pos].as_mut().expect("occupied prefix");
+        slot.last_use = clock;
+        Some(&mut slot.entry)
     }
 
     /// Returns a reference to the entry for `line` without touching LRU
     /// state (used by coherence probes, which should not perturb locality).
     pub fn peek(&self, line: LineAddr) -> Option<&T> {
-        let set = self.set_index(line);
-        self.sets[set]
-            .iter()
-            .find(|s| s.line == line)
-            .map(|s| &s.entry)
+        let (base, len) = self.set_range(line);
+        let pos = self.position(base, len, line)?;
+        Some(&self.slots[base + pos].as_ref().expect("occupied").entry)
     }
 
     /// Mutable peek without LRU update.
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut T> {
-        let set = self.set_index(line);
-        self.sets[set]
-            .iter_mut()
-            .find(|s| s.line == line)
-            .map(|s| &mut s.entry)
+        let (base, len) = self.set_range(line);
+        let pos = self.position(base, len, line)?;
+        Some(&mut self.slots[base + pos].as_mut().expect("occupied").entry)
     }
 
     /// Inserts (or replaces) the entry for `line`, returning the evicted
@@ -106,34 +159,42 @@ impl<T> SetAssocCache<T> {
     /// eviction happens.
     pub fn insert(&mut self, line: LineAddr, entry: T) -> Option<(LineAddr, T)> {
         let set_idx = self.set_index(line);
+        let base = set_idx * self.geometry.ways;
+        let mut len = self.set_len[set_idx] as usize;
         let clock = self.tick();
         let ways = self.geometry.ways;
 
-        if let Some(slot) = self.sets[set_idx].iter_mut().find(|s| s.line == line) {
+        if let Some(pos) = self.position(base, len, line) {
+            let slot = self.slots[base + pos].as_mut().expect("occupied");
             slot.entry = entry;
             slot.last_use = clock;
             return None;
         }
 
         let mut victim = None;
-        if self.sets[set_idx].len() >= ways {
-            // Evict the least recently used slot of this set.
-            let (victim_pos, _) = self.sets[set_idx]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.last_use)
+        if len >= ways {
+            // Evict the least recently used slot of this set (stamps are
+            // globally unique, so the minimum is unambiguous), with the
+            // same swap-remove the Vec representation performed.
+            let victim_pos = (0..len)
+                .min_by_key(|&i| self.slots[base + i].as_ref().expect("occupied").last_use)
                 .expect("full set has at least one slot");
-            let slot = self.sets[set_idx].swap_remove(victim_pos);
-            self.index.remove(&slot.line);
+            let slot = self.slots[base + victim_pos].take().expect("occupied");
+            if victim_pos != len - 1 {
+                self.slots[base + victim_pos] = self.slots[base + len - 1].take();
+            }
+            len -= 1;
+            self.len -= 1;
             victim = Some((slot.line, slot.entry));
         }
 
-        self.sets[set_idx].push(Slot {
+        self.slots[base + len] = Some(Slot {
             line,
             last_use: clock,
             entry,
         });
-        self.index.insert(line, set_idx);
+        self.set_len[set_idx] = (len + 1) as u32;
+        self.len += 1;
         victim
     }
 
@@ -141,15 +202,13 @@ impl<T> SetAssocCache<T> {
     /// without modifying the cache. Returns `None` if no eviction would be
     /// needed (set not full, or `line` already resident).
     pub fn victim_for(&self, line: LineAddr) -> Option<LineAddr> {
-        let set_idx = self.set_index(line);
-        if self.sets[set_idx].iter().any(|s| s.line == line) {
+        let (base, len) = self.set_range(line);
+        if self.position(base, len, line).is_some() || len < self.geometry.ways {
             return None;
         }
-        if self.sets[set_idx].len() < self.geometry.ways {
-            return None;
-        }
-        self.sets[set_idx]
+        self.slots[base..base + len]
             .iter()
+            .map(|s| s.as_ref().expect("occupied"))
             .min_by_key(|s| s.last_use)
             .map(|s| s.line)
     }
@@ -157,23 +216,45 @@ impl<T> SetAssocCache<T> {
     /// Removes the entry for `line`, returning it.
     pub fn remove(&mut self, line: LineAddr) -> Option<T> {
         let set_idx = self.set_index(line);
-        let pos = self.sets[set_idx].iter().position(|s| s.line == line)?;
-        self.index.remove(&line);
-        Some(self.sets[set_idx].swap_remove(pos).entry)
+        let base = set_idx * self.geometry.ways;
+        let len = self.set_len[set_idx] as usize;
+        let pos = self.position(base, len, line)?;
+        let slot = self.slots[base + pos].take().expect("occupied");
+        if pos != len - 1 {
+            self.slots[base + pos] = self.slots[base + len - 1].take();
+        }
+        self.set_len[set_idx] = (len - 1) as u32;
+        self.len -= 1;
+        Some(slot.entry)
     }
 
-    /// Iterates over all resident `(line, entry)` pairs in unspecified order.
+    /// Iterates over all resident `(line, entry)` pairs (set-major, within a
+    /// set in prefix order — the same order the per-set `Vec`s used to give).
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
-        self.sets
-            .iter()
-            .flat_map(|set| set.iter().map(|s| (s.line, &s.entry)))
+        let ways = self.geometry.ways;
+        self.set_len.iter().enumerate().flat_map(move |(set, &l)| {
+            self.slots[set * ways..set * ways + l as usize]
+                .iter()
+                .map(|slot| {
+                    let slot = slot.as_ref().expect("occupied prefix");
+                    (slot.line, &slot.entry)
+                })
+        })
     }
 
     /// Iterates mutably over all resident `(line, entry)` pairs.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
-        self.sets
-            .iter_mut()
-            .flat_map(|set| set.iter_mut().map(|s| (s.line, &mut s.entry)))
+        let ways = self.geometry.ways;
+        let set_len = &self.set_len;
+        self.slots
+            .chunks_mut(ways)
+            .zip(set_len.iter())
+            .flat_map(|(chunk, &l)| {
+                chunk[..l as usize].iter_mut().map(|slot| {
+                    let slot = slot.as_mut().expect("occupied prefix");
+                    (slot.line, &mut slot.entry)
+                })
+            })
     }
 
     /// Removes every line for which the predicate returns `true`, returning
@@ -182,28 +263,40 @@ impl<T> SetAssocCache<T> {
         &mut self,
         mut pred: impl FnMut(LineAddr, &T) -> bool,
     ) -> Vec<(LineAddr, T)> {
+        let ways = self.geometry.ways;
         let mut removed = Vec::new();
-        for set in &mut self.sets {
+        for set_idx in 0..self.set_len.len() {
+            let base = set_idx * ways;
+            let mut len = self.set_len[set_idx] as usize;
             let mut i = 0;
-            while i < set.len() {
-                if pred(set[i].line, &set[i].entry) {
-                    let slot = set.swap_remove(i);
-                    self.index.remove(&slot.line);
+            while i < len {
+                let s = self.slots[base + i].as_ref().expect("occupied prefix");
+                if pred(s.line, &s.entry) {
+                    let slot = self.slots[base + i].take().expect("occupied");
+                    if i != len - 1 {
+                        self.slots[base + i] = self.slots[base + len - 1].take();
+                    }
+                    len -= 1;
+                    self.len -= 1;
                     removed.push((slot.line, slot.entry));
                 } else {
                     i += 1;
                 }
             }
+            self.set_len[set_idx] = len as u32;
         }
         removed
     }
 
     /// Removes every resident line.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        for slot in &mut self.slots {
+            *slot = None;
         }
-        self.index.clear();
+        for l in &mut self.set_len {
+            *l = 0;
+        }
+        self.len = 0;
     }
 }
 
@@ -325,5 +418,36 @@ mod tests {
         }
         assert_eq!(*c.peek(LineAddr::new(1)).unwrap(), 11);
         assert_eq!(*c.peek(LineAddr::new(2)).unwrap(), 12);
+    }
+
+    /// All 64 byte offsets of one cache line must land in the same set:
+    /// `LineAddr` construction strips the offset bits (the satellite
+    /// regression — indexing raw byte addresses would shear one line
+    /// across 64 different sets).
+    #[test]
+    fn byte_offsets_of_one_line_share_a_set() {
+        use dhtm_types::addr::{Address, LINE_SIZE};
+        let c = small_cache();
+        for base in [0u64, 64 * 5, 64 * 1000, 64 * 12345] {
+            let canonical = c.set_index(Address::new(base).line());
+            for off in 0..LINE_SIZE as u64 {
+                let line = Address::new(base + off).line();
+                assert_eq!(
+                    c.set_index(line),
+                    canonical,
+                    "offset {off} of byte address {base} changed sets"
+                );
+            }
+        }
+    }
+
+    /// The mask-based set index must agree with the modulo the historical
+    /// implementation used, across the full address range.
+    #[test]
+    fn mask_index_equals_modulo_index() {
+        let c = small_cache();
+        for i in [0u64, 1, 3, 4, 7, 63, 64, 1 << 40, u64::MAX] {
+            assert_eq!(c.set_index(LineAddr::new(i)), (i % 4) as usize);
+        }
     }
 }

@@ -1,0 +1,223 @@
+//! Property tests pinning the flat-array cache structures against naive
+//! reference models.
+//!
+//! The PR5 data-structure overhaul replaced `SetAssocCache`'s per-set
+//! `Vec<Slot>` + `HashMap` index with one fixed-way flat slot array, and
+//! `MshrFile`'s `HashSet` with a small inline array. These tests drive both
+//! through random operation streams and check every observable — lookup
+//! results, insert victims (LRU order), removal results, membership,
+//! occupancy, allocation failures — against models written for clarity,
+//! not speed: a plain list of `(line, stamp)` pairs for the cache, a
+//! `HashSet` for the MSHR file.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use dhtm_cache::mshr::MshrFile;
+use dhtm_cache::set_assoc::SetAssocCache;
+use dhtm_types::addr::LineAddr;
+use dhtm_types::config::CacheGeometry;
+
+// ---------------------------------------------------------------------------
+// Reference model for the set-associative array.
+// ---------------------------------------------------------------------------
+
+/// The specification, stated naively: lines live in `line % sets` sets of
+/// at most `ways` entries; `insert`/`get_mut` stamp the line with a global
+/// clock; a full set evicts its minimum-stamp line.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    clock: u64,
+    /// (line, last_use, value)
+    entries: Vec<(u64, u64, u32)>,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets,
+            ways,
+            clock: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    fn set_of(&self, line: u64) -> u64 {
+        line % self.sets as u64
+    }
+
+    fn find(&self, line: u64) -> Option<usize> {
+        self.entries.iter().position(|&(l, _, _)| l == line)
+    }
+
+    fn insert(&mut self, line: u64, value: u32) -> Option<(u64, u32)> {
+        self.clock += 1;
+        if let Some(i) = self.find(line) {
+            self.entries[i].1 = self.clock;
+            self.entries[i].2 = value;
+            return None;
+        }
+        let set = self.set_of(line);
+        let in_set: Vec<usize> = (0..self.entries.len())
+            .filter(|&i| self.set_of(self.entries[i].0) == set)
+            .collect();
+        let mut victim = None;
+        if in_set.len() >= self.ways {
+            // Stamps are unique, so the LRU choice is unambiguous.
+            let &lru = in_set
+                .iter()
+                .min_by_key(|&&i| self.entries[i].1)
+                .expect("full set");
+            let (vl, _, vv) = self.entries.remove(lru);
+            victim = Some((vl, vv));
+        }
+        self.entries.push((line, self.clock, value));
+        victim
+    }
+
+    fn get_mut(&mut self, line: u64) -> Option<u32> {
+        self.clock += 1;
+        let clock = self.clock;
+        let i = self.find(line)?;
+        self.entries[i].1 = clock;
+        Some(self.entries[i].2)
+    }
+
+    fn remove(&mut self, line: u64) -> Option<u32> {
+        let i = self.find(line)?;
+        Some(self.entries.remove(i).2)
+    }
+
+    fn victim_for(&self, line: u64) -> Option<u64> {
+        if self.find(line).is_some() {
+            return None;
+        }
+        let set = self.set_of(line);
+        let in_set: Vec<&(u64, u64, u32)> = self
+            .entries
+            .iter()
+            .filter(|&&(l, _, _)| self.set_of(l) == set)
+            .collect();
+        if in_set.len() < self.ways {
+            return None;
+        }
+        in_set.iter().min_by_key(|e| e.1).map(|e| e.0)
+    }
+
+    fn sorted_contents(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self.entries.iter().map(|&(l, _, v)| (l, v)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+fn check_cache_against_reference(ops: &[(u8, u64)]) {
+    // 4 sets × 2 ways over a 16-line address space: every op stream is
+    // dense enough to exercise conflicts, evictions and re-insertion.
+    let mut cache: SetAssocCache<u32> = SetAssocCache::new(CacheGeometry::new(512, 2, 64));
+    let mut reference = RefCache::new(4, 2);
+    for (i, &(kind, raw)) in ops.iter().enumerate() {
+        let line = LineAddr::new(raw);
+        match kind % 4 {
+            0 => {
+                let value = i as u32;
+                let got = cache.insert(line, value);
+                let want = reference.insert(raw, value);
+                assert_eq!(
+                    got.map(|(l, v)| (l.raw(), v)),
+                    want,
+                    "op {i}: insert({raw}) victim mismatch"
+                );
+            }
+            1 => {
+                let got = cache.get_mut(line).map(|v| *v);
+                let want = reference.get_mut(raw);
+                assert_eq!(got, want, "op {i}: get_mut({raw}) mismatch");
+            }
+            2 => {
+                assert_eq!(
+                    cache.remove(line),
+                    reference.remove(raw),
+                    "op {i}: remove({raw}) mismatch"
+                );
+            }
+            _ => {
+                // Pure queries: must not disturb either model.
+                assert_eq!(
+                    cache.victim_for(line).map(LineAddr::raw),
+                    reference.victim_for(raw),
+                    "op {i}: victim_for({raw}) mismatch"
+                );
+                assert_eq!(
+                    cache.contains(line),
+                    reference.find(raw).is_some(),
+                    "op {i}: contains({raw}) mismatch"
+                );
+            }
+        }
+        assert_eq!(cache.len(), reference.entries.len(), "op {i}: len drifted");
+    }
+    // Full-state audit at the end: same resident lines, same values.
+    let mut got: Vec<(u64, u32)> = cache.iter().map(|(l, v)| (l.raw(), *v)).collect();
+    got.sort_unstable();
+    assert_eq!(got, reference.sorted_contents());
+}
+
+// ---------------------------------------------------------------------------
+// Reference model for the MSHR file.
+// ---------------------------------------------------------------------------
+
+fn check_mshr_against_reference(capacity: usize, ops: &[(bool, u64)]) {
+    let mut mshr = MshrFile::new(capacity);
+    let mut reference: HashSet<u64> = HashSet::new();
+    let mut failures = 0u64;
+    let mut peak = 0usize;
+    for (i, &(alloc, raw)) in ops.iter().enumerate() {
+        let line = LineAddr::new(raw);
+        if alloc {
+            let want = if reference.contains(&raw) {
+                true // secondary miss merges
+            } else if reference.len() >= capacity {
+                failures += 1;
+                false
+            } else {
+                reference.insert(raw);
+                peak = peak.max(reference.len());
+                true
+            };
+            assert_eq!(mshr.allocate(line), want, "op {i}: allocate({raw})");
+        } else {
+            reference.remove(&raw);
+            mshr.release(line);
+        }
+        assert_eq!(mshr.outstanding(), reference.len(), "op {i}: occupancy");
+    }
+    assert_eq!(mshr.allocation_failures(), failures);
+    assert_eq!(mshr.peak_occupancy(), peak);
+}
+
+proptest! {
+    // Fixed case count AND fixed RNG seed: a failure on one machine is the
+    // same failure everywhere. Failing case seeds persist in
+    // `proptest-regressions/flat_structures_property.txt` and are replayed
+    // before fresh cases.
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0xD47A_15CA_2018_0005))]
+
+    #[test]
+    fn flat_cache_matches_reference_model(
+        ops in proptest::collection::vec((0u8..4, 0u64..16), 0..400),
+    ) {
+        check_cache_against_reference(&ops);
+    }
+
+    #[test]
+    fn mshr_file_matches_reference_model(
+        capacity in 1usize..6,
+        ops in proptest::collection::vec((0u8..2, 0u64..8), 0..200),
+    ) {
+        let ops: Vec<(bool, u64)> = ops.into_iter().map(|(k, l)| (k == 0, l)).collect();
+        check_mshr_against_reference(capacity, &ops);
+    }
+}

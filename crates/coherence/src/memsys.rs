@@ -411,11 +411,7 @@ impl MemorySystem {
                     new_l1_state = MesiState::Exclusive;
                 } else {
                     // Forward to the owner.
-                    let owner = entry
-                        .sharer_ids()
-                        .into_iter()
-                        .next()
-                        .expect("owned line has an owner");
+                    let owner = entry.first_sharer().expect("owned line has an owner");
                     let probe = self.probe_info(core, owner, line, ProbeKind::FwdGetS);
                     self.stats.probes += 1;
                     let decision = arbiter.decide(&probe);
@@ -537,21 +533,32 @@ impl MemorySystem {
         let mut reread_own_overflow = false;
 
         let entry = *self.llc.entry(line).expect("line ensured");
-        // Identify every remote holder that must be probed.
-        let remote_holders: Vec<CoreId> = entry
-            .sharer_ids()
-            .into_iter()
-            .filter(|&c| c != core)
-            .collect();
+        // Every remote holder that must be probed, as a bitmask — the probe
+        // loops below walk it lowest-core-first (the order `sharer_ids`
+        // used to give) without allocating.
+        let remote_mask = {
+            let mut m = entry.sharers;
+            if core.get() < 64 {
+                m &= !(1u64 << core.get());
+            }
+            m
+        };
 
         if entry.state.is_exclusive_like() && entry.is_sharer(core) && !had_shared_copy {
             // Requester is the stale owner re-writing a line it overflowed.
             reread_own_overflow = true;
         }
 
-        // First pass: collect decisions without mutating anything.
-        let mut decisions = Vec::with_capacity(remote_holders.len());
-        for &holder in &remote_holders {
+        // First pass: collect decisions without mutating anything. A
+        // decision is one of four cases, so a bitmask per case replaces the
+        // former per-access `Vec<(CoreId, ProbeDecision)>`.
+        let mut abort_holder_mask = 0u64;
+        let mut saw_nack = false;
+        let mut saw_abort_requester = false;
+        let mut mask = remote_mask;
+        while mask != 0 {
+            let holder = CoreId::new(mask.trailing_zeros() as usize);
+            mask &= mask - 1;
             let kind = if entry.state.is_exclusive_like() {
                 ProbeKind::FwdGetM
             } else {
@@ -559,28 +566,32 @@ impl MemorySystem {
             };
             let probe = self.probe_info(core, holder, line, kind);
             self.stats.probes += 1;
-            let decision = arbiter.decide(&probe);
-            decisions.push((holder, decision));
+            match arbiter.decide(&probe) {
+                ProbeDecision::Nack => saw_nack = true,
+                ProbeDecision::AbortRequester => saw_abort_requester = true,
+                ProbeDecision::AbortHolder => abort_holder_mask |= 1u64 << holder.get(),
+                ProbeDecision::Proceed => {}
+            }
         }
-        if decisions.iter().any(|&(_, d)| d == ProbeDecision::Nack) {
+        if saw_nack {
             self.stats.conflicts += 1;
             return AccessOutcome::cancelled(now + latency, true);
         }
-        if decisions
-            .iter()
-            .any(|&(_, d)| d == ProbeDecision::AbortRequester)
-        {
+        if saw_abort_requester {
             self.stats.conflicts += 1;
             return AccessOutcome::cancelled(now + latency, false);
         }
 
         // Second pass: apply the protocol actions.
-        if !remote_holders.is_empty() {
+        if remote_mask != 0 {
             latency += self.latency.coherence_hop;
             done = done.max(now + latency);
         }
-        for (holder, decision) in decisions {
-            let holder_aborts = decision == ProbeDecision::AbortHolder;
+        let mut mask = remote_mask;
+        while mask != 0 {
+            let holder = CoreId::new(mask.trailing_zeros() as usize);
+            mask &= mask - 1;
+            let holder_aborts = abort_holder_mask & (1u64 << holder.get()) != 0;
             if holder_aborts {
                 self.stats.conflicts += 1;
                 holders_to_abort.push(holder);

@@ -58,6 +58,7 @@ fn numeric_fields(row: &Row) -> Vec<(&'static str, f64)> {
         ("cores", row.cores as f64),
         ("target_commits", row.target_commits as f64),
         ("committed", s.committed as f64),
+        ("steps", s.steps as f64),
         ("total_cycles", s.total_cycles as f64),
         ("throughput_per_mcycle", s.throughput_per_mcycle()),
         ("aborts_total", s.total_aborts() as f64),

@@ -1,0 +1,209 @@
+//! Cycle-exact equivalence of the integer fixed-point [`MemoryChannel`]
+//! with the historical accumulating-`f64` model, plus the drift regression
+//! the rewrite exists to close.
+//!
+//! The fixed-point channel interprets the configured rate as the exact
+//! decimal rational it denotes (2.65 B/cycle = 53/20). On any request
+//! stream the two models can only disagree where the exact cursor lands
+//! *exactly on* (or within one f64 rounding residue of) an integer cycle
+//! boundary — precisely the places where the old model's answer depended
+//! on accumulated floating-point noise rather than on the modelled
+//! hardware. The equivalence test asserts agreement everywhere else and a
+//! worst-case difference of one cycle at the boundaries; the golden-stats
+//! suite (`tests/golden_stats.rs`) is the proof that on the actual golden
+//! runs the agreement is cycle-exact end to end.
+
+use dhtm_nvm::bandwidth::MemoryChannel;
+
+/// The pre-PR5 channel, verbatim: an accumulating `f64` cursor.
+struct F64Reference {
+    bytes_per_cycle: f64,
+    next_free: f64,
+}
+
+impl F64Reference {
+    fn new(bytes_per_cycle: f64) -> Self {
+        F64Reference {
+            bytes_per_cycle,
+            next_free: 0.0,
+        }
+    }
+
+    fn request(&mut self, now: u64, bytes: u64) -> u64 {
+        let start = self.next_free.max(now as f64);
+        let duration = bytes as f64 / self.bytes_per_cycle;
+        let done = start + duration;
+        self.next_free = done;
+        done.ceil() as u64
+    }
+}
+
+/// splitmix64: the deterministic stream generator used across the repo.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exact-rational shadow of the channel: cursor in 1/num cycle units.
+struct ExactShadow {
+    num: u128,
+    den: u128,
+    cursor: u128,
+}
+
+impl ExactShadow {
+    /// `num/den` must be the reduced decimal rational of the rate.
+    fn new(num: u128, den: u128) -> Self {
+        ExactShadow {
+            num,
+            den,
+            cursor: 0,
+        }
+    }
+
+    /// Advances the shadow and reports whether the completed transfer ends
+    /// exactly on an integer cycle boundary — the only places where the
+    /// old model's answer was decided by its accumulated f64 rounding
+    /// residue (the true value is the integer itself; the residue decides
+    /// which side of it the f64 lands on).
+    fn request(&mut self, now: u64, bytes: u64) -> bool {
+        let start = self.cursor.max(now as u128 * self.num);
+        self.cursor = start + bytes as u128 * self.den;
+        self.cursor.is_multiple_of(self.num)
+    }
+}
+
+/// Replays a pseudo-random but realistic request stream (line fills, log
+/// records, jumbo drains; bursts and idle gaps) against both models.
+///
+/// * Rates whose reduced rational is dyadic in both numerator and
+///   denominator make every transfer duration exactly representable, so
+///   the old model was already exact: every completion cycle must match
+///   outright.
+/// * For genuinely fractional rates the two models must match everywhere
+///   except where the exact cursor lands *exactly on* an integer boundary
+///   (e.g. 26.5 B/cycle is representable, but `b/26.5 = 2b/53` is not) —
+///   there the old model's ceil was a coin flip on its rounding residue,
+///   and the difference is at most the one cycle that residue is worth.
+#[test]
+fn fixed_point_matches_f64_model_cycle_for_cycle() {
+    // (rate, decimal rational) — Table III baseline, the Table VII sweep,
+    // and assorted fractions.
+    let rates: [(f64, u128, u128); 8] = [
+        (2.65, 53, 20),
+        (5.3, 53, 10),
+        (26.5, 53, 2),
+        (13.25, 53, 4),
+        (1.0, 1, 1),
+        (2.0, 2, 1),
+        (0.5, 1, 2),
+        (7.77, 777, 100),
+    ];
+    for (rate, num, den) in rates {
+        let binary_exact = num.is_power_of_two() && den.is_power_of_two();
+        let mut fixed = MemoryChannel::new(rate);
+        let mut reference = F64Reference::new(rate);
+        let mut shadow = ExactShadow::new(num, den);
+        let mut rng = 0x15CA_2018u64 ^ rate.to_bits();
+        let mut now = 0u64;
+        let mut boundary_ops = 0u64;
+        for i in 0..200_000u64 {
+            let r = splitmix64(&mut rng);
+            // Mostly cache lines and log records, occasionally bigger.
+            let bytes = match r % 10 {
+                0..=5 => 64,
+                6..=7 => 24 + (r >> 8) % 48,
+                8 => 8,
+                _ => 512 + (r >> 8) % 4096,
+            };
+            // Bursts (same cycle), short gaps, and occasional long idles
+            // that let the channel drain back to an integral cursor.
+            now += match (r >> 32) % 8 {
+                0..=3 => 0,
+                4..=5 => (r >> 40) % 16,
+                6 => (r >> 40) % 512,
+                _ => 10_000 + (r >> 40) % 10_000,
+            };
+            let a = fixed.request(now, bytes);
+            let b = reference.request(now, bytes);
+            let on_boundary = shadow.request(now, bytes);
+            if on_boundary && !binary_exact {
+                boundary_ops += 1;
+                assert!(
+                    a.abs_diff(b) <= 1,
+                    "rate {rate}, op {i}: boundary difference exceeds the \
+                     one-cycle f64 residue ({a} vs {b})"
+                );
+            } else {
+                assert_eq!(
+                    a, b,
+                    "rate {rate}, op {i}: fixed-point {a} != f64 reference {b} \
+                     away from any integer boundary (now {now}, bytes {bytes})"
+                );
+            }
+        }
+        if !binary_exact {
+            // The stream must actually have exercised the boundary regime
+            // (otherwise the interesting half of the claim went untested),
+            // and must not have classified everything as a boundary.
+            assert!(
+                (1..200_000 / 10).contains(&boundary_ops),
+                "rate {rate}: boundary classification degenerated ({boundary_ops} ops)"
+            );
+        }
+    }
+}
+
+/// Drift regression: billions of bytes of fractional-rate traffic, cursor
+/// still exact. The closed form for a total of `B` back-to-back bytes at
+/// rate 53/20 is `ceil(B·20 / 53)`; the channel must hit it exactly at
+/// every checkpoint, including after jumbo transfers that push the
+/// lifetime byte count past 10^10.
+#[test]
+fn cursor_is_exact_after_billions_of_bytes() {
+    let (num, den): (u128, u128) = (53, 20); // 2.65 B/cycle, exactly
+
+    let mut ch = MemoryChannel::new(2.65);
+    let mut total_bytes: u128 = 0;
+    // Phase 1: half a million small fractional transfers.
+    for _ in 0..500_000 {
+        ch.request(0, 64);
+    }
+    total_bytes += 500_000 * 64;
+    assert_eq!(
+        u128::from(ch.next_free_cycle()),
+        (total_bytes * den).div_ceil(num)
+    );
+    // Phase 2: jumbo drains — 10 transfers of 1 GB each (the equivalent of
+    // hundreds of millions of line transfers) plus a tail of odd sizes.
+    for _ in 0..10 {
+        ch.request(0, 1_000_000_000);
+        total_bytes += 1_000_000_000;
+    }
+    for odd in 1..=1_000u64 {
+        ch.request(0, odd);
+        total_bytes += u128::from(odd);
+    }
+    assert!(total_bytes > 10_000_000_000, "stream reached 10^10 bytes");
+    assert_eq!(
+        u128::from(ch.next_free_cycle()),
+        (total_bytes * den).div_ceil(num),
+        "cursor drifted after {total_bytes} bytes"
+    );
+    assert_eq!(u128::from(ch.total_bytes()), total_bytes);
+}
+
+/// An idle gap must snap the cursor to exactly the request cycle, wiping
+/// any fractional residue of the previous busy period.
+#[test]
+fn idle_rebase_is_exact() {
+    let mut ch = MemoryChannel::new(2.65);
+    ch.request(0, 7); // fractional residue on the cursor
+    let done = ch.request(1_000_000, 53);
+    // 53 bytes at 53/20 B/cycle is exactly 20 cycles.
+    assert_eq!(done, 1_000_020);
+    assert_eq!(ch.next_free_cycle(), 1_000_020);
+}

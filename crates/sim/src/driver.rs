@@ -226,6 +226,7 @@ impl Simulator {
             log_records_before,
             finished: false,
             armed_points: Vec::new(),
+            lock_scratch: Vec::new(),
         }
     }
 }
@@ -283,6 +284,10 @@ pub struct SimulationSession<'a> {
     /// used to fire [`SimObserver::on_crash_point`] when a step's mutation
     /// span crosses one.
     armed_points: Vec<u64>,
+    /// Scratch for the per-begin lock sort/dedup: reused across steps so
+    /// the hot loop never allocates for it (the former code cloned the
+    /// transaction's lock list on every begin).
+    lock_scratch: Vec<crate::locks::LockId>,
 }
 
 impl std::fmt::Debug for SimulationSession<'_> {
@@ -396,11 +401,13 @@ impl<'a> SimulationSession<'a> {
             let run = &self.cores[core_idx];
             let tx = run.tx.as_ref().expect("transaction present");
             if !run.begun {
-                let mut locks = tx.locks.clone();
-                locks.sort_unstable();
-                locks.dedup();
+                self.lock_scratch.clear();
+                self.lock_scratch.extend_from_slice(&tx.locks);
+                self.lock_scratch.sort_unstable();
+                self.lock_scratch.dedup();
                 (
-                    self.engine.begin(self.machine, core, &locks, now),
+                    self.engine
+                        .begin(self.machine, core, &self.lock_scratch, now),
                     Step::Begin,
                 )
             } else if run.op_idx < tx.ops.len() {
@@ -476,6 +483,7 @@ impl<'a> SimulationSession<'a> {
         }
 
         let t = self.cores[core_idx].time;
+        self.cores[core_idx].stats.steps += 1;
         self.events.push(Reverse((t, core_idx)));
 
         // ---- Observer callbacks: all simulated state is final for this

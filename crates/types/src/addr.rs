@@ -96,8 +96,27 @@ pub struct LineAddr(u64);
 
 impl LineAddr {
     /// Creates a line address from a line number.
+    ///
+    /// Note this takes a line *number*, not a byte address: passing a byte
+    /// address here would make two offsets of one line look like different
+    /// lines (and land them in different cache sets). When starting from a
+    /// byte address use [`Address::line`] (which strips the offset) or
+    /// [`LineAddr::from_base`] (which asserts there is none to strip).
     pub const fn new(line_number: u64) -> Self {
         LineAddr(line_number)
+    }
+
+    /// Creates a line address from the byte address of the line's first
+    /// byte. Unlike [`Address::line`] this does not silently strip offset
+    /// bits — a non-line-aligned address is a caller bug (the caller
+    /// thought it held a base address but didn't), caught in debug builds.
+    pub fn from_base(addr: Address) -> Self {
+        debug_assert!(
+            addr.is_line_aligned(),
+            "byte address {addr} is not line-aligned; use Address::line to \
+             strip offsets deliberately"
+        );
+        addr.line()
     }
 
     /// Returns the line number.
@@ -241,6 +260,35 @@ mod tests {
     fn next_line_advances_by_line_size() {
         let l = LineAddr::new(10);
         assert_eq!(l.next().base().raw() - l.base().raw(), LINE_SIZE as u64);
+    }
+
+    #[test]
+    fn from_base_accepts_aligned_addresses() {
+        assert_eq!(LineAddr::from_base(Address::new(0)), LineAddr::new(0));
+        assert_eq!(
+            LineAddr::from_base(Address::new(64 * 99)),
+            LineAddr::new(99)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not line-aligned")]
+    #[cfg(debug_assertions)]
+    fn from_base_rejects_offset_addresses() {
+        let _ = LineAddr::from_base(Address::new(64 * 7 + 8));
+    }
+
+    /// Every byte offset of a line maps to the same `LineAddr`: the
+    /// construction path from byte addresses strips offsets, so set
+    /// indexing downstream can never alias one line across sets.
+    #[test]
+    fn line_construction_strips_byte_offsets() {
+        for base in [0u64, 64, 64 * 1234] {
+            let canonical = Address::new(base).line();
+            for off in 0..LINE_SIZE as u64 {
+                assert_eq!(Address::new(base + off).line(), canonical);
+            }
+        }
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub struct TxStats {
 pub struct RunStats {
     /// Committed (logical) transactions.
     pub committed: u64,
+    /// Driver events processed (begin/op/commit steps across all cores) —
+    /// the denominator of the simulator's own steps-per-second throughput
+    /// tracked by the `perf_trajectory` benchmark.
+    pub steps: u64,
     /// Total transaction attempts that aborted, by reason.
     pub aborts: BTreeMap<AbortReason, u64>,
     /// Total simulated cycles (max over cores of each core's local clock).
@@ -244,6 +248,7 @@ impl RunStats {
     /// per-core statistics).
     pub fn merge(&mut self, other: &RunStats) {
         self.committed += other.committed;
+        self.steps += other.steps;
         for (k, v) in &other.aborts {
             *self.aborts.entry(*k).or_insert(0) += v;
         }

@@ -31,6 +31,15 @@ fn run_design(kind: DesignKind) -> RunStats {
 
 /// (design, committed, total_cycles, total_aborts)
 ///
+/// LogTM-ATOM and DHTM moved by exactly −1 cycle in the fixed-point
+/// memory-channel PR (intended): the channel now models the configured
+/// 2.65 B/cycle as the exact rational 53/20, so a transfer burst whose
+/// byte total is a multiple of 53 drains in exactly its true integral
+/// cycle count. The old accumulating-`f64` cursor carried a rounding
+/// residue at those boundaries that ceiled one cycle of phantom busy time
+/// into these two runs; the other four designs never hit such a boundary
+/// and are bit-identical.
+///
 /// Pins moved in the crash-validation PR, which closed crash-consistency
 /// holes the new recovery oracles exposed:
 /// * SO — Mnemosyne-style store-granular log amendments (word records
@@ -48,8 +57,8 @@ const GOLDEN: [(DesignKind, u64, u64, u64); 6] = [
     (DesignKind::SoftwareOnly, 30, 709_191, 0),
     (DesignKind::SdTm, 30, 1_720_888, 282),
     (DesignKind::Atom, 30, 406_537, 0),
-    (DesignKind::LogTmAtom, 30, 336_492, 0),
-    (DesignKind::Dhtm, 30, 340_248, 0),
+    (DesignKind::LogTmAtom, 30, 336_491, 0),
+    (DesignKind::Dhtm, 30, 340_247, 0),
     (DesignKind::NonPersistent, 30, 1_723_563, 286),
 ];
 
