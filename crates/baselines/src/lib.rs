@@ -26,12 +26,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod atom;
+pub mod dispatch;
 pub mod logtm_atom;
 pub mod registry;
 pub mod sdtm;
 pub mod so;
 
 pub use atom::AtomEngine;
+pub use dispatch::EngineDispatch;
 pub use logtm_atom::LogTmAtomEngine;
 pub use registry::{EngineFactory, EngineId, EngineInfo, EngineRegistry};
 pub use sdtm::SdTmEngine;
@@ -41,7 +43,6 @@ pub use so::SoEngine;
 /// `dhtm-htm`, re-exported under its evaluation name.
 pub use dhtm_htm::rtm::RtmEngine as NpEngine;
 
-use dhtm_sim::engine::TxEngine;
 use dhtm_types::config::SystemConfig;
 use dhtm_types::policy::DesignKind;
 
@@ -50,15 +51,19 @@ use dhtm_types::policy::DesignKind;
 /// point; new code should resolve an [`EngineId`] itself (which also covers
 /// named variants).
 ///
+/// Returns the [`EngineDispatch`] built by the registry, so callers that
+/// run it through a generic driver get static dispatch for free.
+///
 /// ```
 /// use dhtm_baselines::build_engine;
+/// use dhtm_sim::engine::TxEngine;
 /// use dhtm_types::config::SystemConfig;
 /// use dhtm_types::policy::DesignKind;
 ///
 /// let engine = build_engine(DesignKind::Dhtm, &SystemConfig::small_test());
 /// assert_eq!(engine.design(), DesignKind::Dhtm);
 /// ```
-pub fn build_engine(kind: DesignKind, cfg: &SystemConfig) -> Box<dyn TxEngine> {
+pub fn build_engine(kind: DesignKind, cfg: &SystemConfig) -> EngineDispatch {
     registry::resolve(&kind.into())
         .expect("all designs are registered builtin")
         .build(cfg)
@@ -67,6 +72,7 @@ pub fn build_engine(kind: DesignKind, cfg: &SystemConfig) -> Box<dyn TxEngine> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dhtm_sim::engine::TxEngine;
 
     #[test]
     fn factory_builds_every_design() {

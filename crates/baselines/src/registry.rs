@@ -10,6 +10,7 @@
 //!
 //! ```
 //! use dhtm_baselines::registry::{self, EngineFactory, EngineId, EngineInfo, LogDiscipline};
+//! use dhtm_sim::engine::TxEngine;
 //! use dhtm_types::config::SystemConfig;
 //! use dhtm_types::policy::DesignKind;
 //!
@@ -45,6 +46,7 @@ use dhtm_sim::engine::TxEngine;
 use dhtm_types::config::SystemConfig;
 use dhtm_types::policy::DesignKind;
 
+use crate::dispatch::EngineDispatch;
 use crate::{AtomEngine, LogTmAtomEngine, NpEngine, SdTmEngine, SoEngine};
 
 /// The name of a registered engine — the sole identity scenario specs,
@@ -192,7 +194,11 @@ impl EngineInfo {
 /// The factory function type: builds a fresh engine for a machine
 /// configuration. Must be `Send + Sync` because matrix cells are sharded
 /// across a worker pool.
-pub type BuildFn = dyn Fn(&SystemConfig) -> Box<dyn TxEngine> + Send + Sync;
+///
+/// Factories return [`EngineDispatch`] so the driver's hot loop dispatches
+/// the built-in designs by `match` instead of vtable; out-of-tree factories
+/// created with [`EngineFactory::new`] land in [`EngineDispatch::Custom`].
+pub type BuildFn = dyn Fn(&SystemConfig) -> EngineDispatch + Send + Sync;
 
 /// A named engine constructor plus its capability metadata. Cloning is
 /// cheap (the builder is shared behind an [`Arc`]).
@@ -203,10 +209,26 @@ pub struct EngineFactory {
 }
 
 impl EngineFactory {
-    /// Creates a factory from metadata and a build function.
+    /// Creates a factory from metadata and a build function returning a
+    /// boxed engine — the extension point for out-of-tree variants. The
+    /// built engine rides in [`EngineDispatch::Custom`], i.e. it keeps
+    /// virtual dispatch; only the closed built-in set gets the static path.
     pub fn new(
         info: EngineInfo,
         build: impl Fn(&SystemConfig) -> Box<dyn TxEngine> + Send + Sync + 'static,
+    ) -> Self {
+        EngineFactory {
+            info,
+            build: Arc::new(move |cfg| EngineDispatch::Custom(build(cfg))),
+        }
+    }
+
+    /// Creates a factory that builds a specific [`EngineDispatch`] variant
+    /// directly — how the built-in catalogue stays on the static-dispatch
+    /// path.
+    pub fn new_dispatch(
+        info: EngineInfo,
+        build: impl Fn(&SystemConfig) -> EngineDispatch + Send + Sync + 'static,
     ) -> Self {
         EngineFactory {
             info,
@@ -225,7 +247,7 @@ impl EngineFactory {
     }
 
     /// Builds a fresh engine for `cfg`.
-    pub fn build(&self, cfg: &SystemConfig) -> Box<dyn TxEngine> {
+    pub fn build(&self, cfg: &SystemConfig) -> EngineDispatch {
         (self.build)(cfg)
     }
 }
@@ -256,32 +278,32 @@ impl EngineRegistry {
     pub fn builtin() -> Self {
         let mut r = EngineRegistry::empty();
         let must = |res: Result<(), RegistryError>| res.expect("builtin ids are unique");
-        must(r.register(EngineFactory::new(
+        must(r.register(EngineFactory::new_dispatch(
             EngineInfo::for_design(DesignKind::SoftwareOnly),
-            |cfg| Box::new(SoEngine::new(cfg)),
+            |cfg| EngineDispatch::So(SoEngine::new(cfg)),
         )));
-        must(r.register(EngineFactory::new(
+        must(r.register(EngineFactory::new_dispatch(
             EngineInfo::for_design(DesignKind::SdTm),
-            |cfg| Box::new(SdTmEngine::new(cfg)),
+            |cfg| EngineDispatch::SdTm(SdTmEngine::new(cfg)),
         )));
-        must(r.register(EngineFactory::new(
+        must(r.register(EngineFactory::new_dispatch(
             EngineInfo::for_design(DesignKind::Atom),
-            |cfg| Box::new(AtomEngine::new(cfg)),
+            |cfg| EngineDispatch::Atom(AtomEngine::new(cfg)),
         )));
-        must(r.register(EngineFactory::new(
+        must(r.register(EngineFactory::new_dispatch(
             EngineInfo::for_design(DesignKind::LogTmAtom),
-            |cfg| Box::new(LogTmAtomEngine::new(cfg)),
+            |cfg| EngineDispatch::LogTmAtom(LogTmAtomEngine::new(cfg)),
         )));
-        must(r.register(EngineFactory::new(
+        must(r.register(EngineFactory::new_dispatch(
             EngineInfo::for_design(DesignKind::Dhtm),
-            |cfg| Box::new(DhtmEngine::new(cfg)),
+            |cfg| EngineDispatch::Dhtm(DhtmEngine::new(cfg)),
         )));
-        must(r.register(EngineFactory::new(
+        must(r.register(EngineFactory::new_dispatch(
             EngineInfo::for_design(DesignKind::NonPersistent),
-            |cfg| Box::new(NpEngine::new(cfg)),
+            |cfg| EngineDispatch::Np(NpEngine::new(cfg)),
         )));
         must(
-            r.register(EngineFactory::new(
+            r.register(EngineFactory::new_dispatch(
                 EngineInfo {
                     id: EngineId::new("dhtm-instant"),
                     label: "DHTM-instant".to_string(),
@@ -290,10 +312,15 @@ impl EngineRegistry {
                             .to_string(),
                     ..EngineInfo::for_design(DesignKind::Dhtm)
                 },
-                |cfg| Box::new(DhtmEngine::with_options(cfg, DhtmOptions::instant_writes())),
+                |cfg| {
+                    EngineDispatch::Dhtm(DhtmEngine::with_options(
+                        cfg,
+                        DhtmOptions::instant_writes(),
+                    ))
+                },
             )),
         );
-        must(r.register(EngineFactory::new(
+        must(r.register(EngineFactory::new_dispatch(
             EngineInfo {
                 id: EngineId::new("dhtm-word"),
                 label: "DHTM-word".to_string(),
@@ -301,9 +328,9 @@ impl EngineRegistry {
                     "DHTM with word-granular logging, no coalescing (Figure 2b)".to_string(),
                 ..EngineInfo::for_design(DesignKind::Dhtm)
             },
-            |cfg| Box::new(DhtmEngine::with_options(cfg, DhtmOptions::word_granular())),
+            |cfg| EngineDispatch::Dhtm(DhtmEngine::with_options(cfg, DhtmOptions::word_granular())),
         )));
-        must(r.register(EngineFactory::new(
+        must(r.register(EngineFactory::new_dispatch(
             EngineInfo {
                 id: EngineId::new("dhtm-no-overflow"),
                 label: "DHTM-noovf".to_string(),
@@ -311,7 +338,7 @@ impl EngineRegistry {
                 ..EngineInfo::for_design(DesignKind::Dhtm)
             },
             |cfg| {
-                Box::new(DhtmEngine::with_options(
+                EngineDispatch::Dhtm(DhtmEngine::with_options(
                     cfg,
                     DhtmOptions::without_overflow(),
                 ))
@@ -363,7 +390,7 @@ impl EngineRegistry {
         &self,
         id: &EngineId,
         cfg: &SystemConfig,
-    ) -> Result<Box<dyn TxEngine>, RegistryError> {
+    ) -> Result<EngineDispatch, RegistryError> {
         self.get(id)
             .map(|f| f.build(cfg))
             .ok_or_else(|| RegistryError::UnknownEngine(id.clone()))

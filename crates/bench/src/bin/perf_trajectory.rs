@@ -13,10 +13,14 @@
 //! run. With `--check REF.json` the run fails (exit 1) if its aggregate
 //! steps/sec regresses more than `--tolerance` percent (default 25) below
 //! the reference file's — the CI `perf` job points this at the checked-in
-//! trajectory file. The reference number is hardware-sensitive: refresh the
-//! checked-in file when the CI runner class changes.
+//! trajectory file. The reference may be a glob with one `*` (e.g.
+//! `--check 'BENCH_PR*.json'`): the match with the highest embedded number
+//! wins, so the gate always compares against the newest checked-in point
+//! and the CI workflow never needs editing when a PR records a new file.
+//! The reference number is hardware-sensitive: refresh the checked-in file
+//! when the CI runner class changes.
 //!
-//! Usage: `perf_trajectory [--out PATH] [--check REF.json]
+//! Usage: `perf_trajectory [--out PATH] [--check REF.json|'BENCH_PR*.json']
 //! [--tolerance PCT] [--repeat N] [--point NAME]`
 
 use std::path::PathBuf;
@@ -36,7 +40,7 @@ const COMMITS: u64 = 30;
 
 struct Opts {
     out: PathBuf,
-    check: Option<PathBuf>,
+    check: Option<String>,
     tolerance_percent: f64,
     repeat: usize,
     point: String,
@@ -45,21 +49,23 @@ struct Opts {
 impl Default for Opts {
     fn default() -> Self {
         Opts {
-            out: PathBuf::from("BENCH_PR5.json"),
+            out: PathBuf::from("BENCH_PR6.json"),
             check: None,
             tolerance_percent: 25.0,
             repeat: 3,
-            point: "PR5".to_string(),
+            point: "PR6".to_string(),
         }
     }
 }
 
 const USAGE: &str = "options:
-  --out PATH        where to write the trajectory JSON (default BENCH_PR5.json)
-  --check REF.json  fail if aggregate steps/sec regresses > tolerance vs REF
+  --out PATH        where to write the trajectory JSON (default BENCH_PR6.json)
+  --check REF       fail if aggregate steps/sec regresses > tolerance vs REF;
+                    REF may contain one '*' (e.g. 'BENCH_PR*.json') — the
+                    match with the highest embedded number is used
   --tolerance PCT   allowed regression in percent (default 25)
   --repeat N        timing repetitions per engine, fastest wins (default 3)
-  --point NAME      trajectory point label (default PR5)
+  --point NAME      trajectory point label (default PR6)
   --help            print this help";
 
 fn parse_opts() -> Result<Opts, String> {
@@ -72,7 +78,7 @@ fn parse_opts() -> Result<Opts, String> {
         };
         match arg.as_str() {
             "--out" => opts.out = PathBuf::from(value("--out")?),
-            "--check" => opts.check = Some(PathBuf::from(value("--check")?)),
+            "--check" => opts.check = Some(value("--check")?),
             "--tolerance" => {
                 let v = value("--tolerance")?;
                 opts.tolerance_percent = v
@@ -200,16 +206,94 @@ fn render_json(point: &str, engines: &[EnginePoint]) -> String {
     out
 }
 
-/// Extracts `"aggregate_steps_per_sec": <number>` from a trajectory file
-/// without a JSON parser (the repo vendors no serde).
-fn reference_steps_per_sec(text: &str) -> Option<f64> {
-    let key = "\"aggregate_steps_per_sec\":";
+/// Extracts `"<key>": <number>` from trajectory JSON without a JSON parser
+/// (the repo vendors no serde).
+fn scrape_number(text: &str, key: &str) -> Option<f64> {
     let at = text.find(key)? + key.len();
     let tail = &text[at..];
     let end = tail
         .find(|c: char| !(c.is_ascii_digit() || ".-+eE ".contains(c)))
         .unwrap_or(tail.len());
     tail[..end].trim().parse().ok()
+}
+
+fn reference_steps_per_sec(text: &str) -> Option<f64> {
+    scrape_number(text, "\"aggregate_steps_per_sec\":")
+}
+
+/// The per-engine `(label, steps_per_sec)` breakdown of a trajectory file,
+/// in file order.
+fn reference_engine_rates(text: &str) -> Vec<(String, f64)> {
+    let mut rates = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("\"engine\": \"") {
+        let tail = &rest[at + "\"engine\": \"".len()..];
+        let Some(name_end) = tail.find('"') else {
+            break;
+        };
+        let name = &tail[..name_end];
+        let object = &tail[name_end..];
+        let object_end = object.find('}').unwrap_or(object.len());
+        if let Some(rate) = scrape_number(&object[..object_end], "\"steps_per_sec\":") {
+            rates.push((name.to_string(), rate));
+        }
+        rest = &object[object_end..];
+    }
+    rates
+}
+
+/// Resolves a `--check` reference that may contain one `*` wildcard in its
+/// file name. Among the matches, the one with the highest number embedded
+/// in the wildcard portion wins (`BENCH_PR10.json` beats `BENCH_PR6.json`
+/// despite sorting lower lexicographically) — "the newest checked-in
+/// trajectory point" without hard-coding any PR number into CI.
+fn resolve_reference(pattern: &str) -> PathBuf {
+    if !pattern.contains('*') {
+        return PathBuf::from(pattern);
+    }
+    let path = std::path::Path::new(pattern);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or_else(|| panic!("reference pattern '{pattern}' has no file name"));
+    let star = name.find('*').expect("pattern checked for '*'");
+    let (prefix, suffix) = (&name[..star], &name[star + 1..]);
+    assert!(
+        !suffix.contains('*'),
+        "reference pattern '{pattern}' may contain at most one '*'"
+    );
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot list reference dir {}: {e}", dir.display()));
+    let mut best: Option<(u64, String)> = None;
+    for entry in entries.flatten() {
+        let Ok(fname) = entry.file_name().into_string() else {
+            continue;
+        };
+        if fname.len() < prefix.len() + suffix.len()
+            || !fname.starts_with(prefix)
+            || !fname.ends_with(suffix)
+        {
+            continue;
+        }
+        let wild = &fname[prefix.len()..fname.len() - suffix.len()];
+        let number = wild
+            .chars()
+            .filter(char::is_ascii_digit)
+            .collect::<String>()
+            .parse::<u64>()
+            .unwrap_or(0);
+        let candidate = (number, fname);
+        if best.as_ref().is_none_or(|b| candidate > *b) {
+            best = Some(candidate);
+        }
+    }
+    let (_, fname) =
+        best.unwrap_or_else(|| panic!("no file matches reference pattern '{pattern}'"));
+    dir.join(fname)
 }
 
 fn main() {
@@ -221,17 +305,20 @@ fn main() {
         }
     };
 
-    // Read the reference before writing, so `--check X --out X` compares
-    // against the checked-in point and then replaces it.
-    let reference = opts.check.as_ref().map(|path| {
-        let text = std::fs::read_to_string(path)
+    // Read the reference before writing, so a `--check` pattern that also
+    // matches `--out` compares against the checked-in point and then
+    // replaces it.
+    let reference = opts.check.as_deref().map(|pattern| {
+        let path = resolve_reference(pattern);
+        let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read reference {}: {e}", path.display()));
-        reference_steps_per_sec(&text).unwrap_or_else(|| {
+        let aggregate = reference_steps_per_sec(&text).unwrap_or_else(|| {
             panic!(
                 "reference {} carries no aggregate_steps_per_sec field",
                 path.display()
             )
-        })
+        });
+        (path, aggregate, reference_engine_rates(&text))
     });
 
     println!(
@@ -264,19 +351,44 @@ fn main() {
         opts.out.display()
     );
 
-    if let Some(reference) = reference {
+    if let Some((ref_path, reference, ref_rates)) = reference {
+        // Per-engine breakdown against the reference: informational (the
+        // gate is on the aggregate), but it pinpoints *which* engine a
+        // regression or win came from straight in the CI log/artifact.
+        if !ref_rates.is_empty() {
+            println!("per-engine vs {}:", ref_path.display());
+            for e in &engines {
+                let now = e.steps_per_sec();
+                match ref_rates.iter().find(|(name, _)| *name == e.label) {
+                    Some((_, before)) if *before > 0.0 => println!(
+                        "| {:<12} | {:>12.0} steps/s | ref {:>12.0} | {:>6.2}x |",
+                        e.label,
+                        now,
+                        before,
+                        now / before
+                    ),
+                    _ => println!(
+                        "| {:<12} | {:>12.0} steps/s | ref          - |       - |",
+                        e.label, now
+                    ),
+                }
+            }
+        }
         let floor = reference * (1.0 - opts.tolerance_percent / 100.0);
         if aggregate < floor {
             eprintln!(
                 "PERF REGRESSION: aggregate {aggregate:.0} steps/s is more than \
-                 {:.0}% below the reference {reference:.0} steps/s (floor {floor:.0})",
-                opts.tolerance_percent
+                 {:.0}% below the reference {reference:.0} steps/s (floor {floor:.0}, \
+                 reference file {})",
+                opts.tolerance_percent,
+                ref_path.display()
             );
             std::process::exit(1);
         }
         println!(
             "perf gate: {aggregate:.0} steps/s >= floor {floor:.0} \
-             (reference {reference:.0}, tolerance {:.0}%)",
+             (reference {reference:.0} from {}, tolerance {:.0}%)",
+            ref_path.display(),
             opts.tolerance_percent
         );
     }

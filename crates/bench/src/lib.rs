@@ -41,7 +41,7 @@ mod tests {
     #[test]
     fn reexported_helpers_are_wired_to_the_harness() {
         for name in MICRO_NAMES.iter().chain(["tatp", "tpcc"].iter()) {
-            assert_eq!(workload_by_name(name, 1).name(), *name);
+            assert_eq!(workload_by_name(name, 1).unwrap().name(), *name);
         }
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
         let cfg = SystemConfig::small_test();

@@ -155,7 +155,7 @@ pub fn profile_cell(cell: &CrashCell) -> ProfiledRun {
     let resolved = cell.resolved();
     let (mut machine, mut engine, mut workload, limits) = resolved.components();
     let sim = Simulator::new();
-    let mut session = sim.start(&mut machine, engine.as_mut(), workload.as_mut(), &limits);
+    let mut session = sim.start(&mut machine, &mut engine, workload.as_mut(), &limits);
 
     let base = session.domain().crash_snapshot();
     let mut recorder = ProfileRecorder::default();
@@ -183,7 +183,7 @@ pub fn capture_cell(cell: &CrashCell, points: &[u64]) -> Vec<(u64, PersistentDom
     let resolved = cell.resolved();
     let (mut machine, mut engine, mut workload, limits) = resolved.components();
     let sim = Simulator::new();
-    let mut session = sim.start(&mut machine, engine.as_mut(), workload.as_mut(), &limits);
+    let mut session = sim.start(&mut machine, &mut engine, workload.as_mut(), &limits);
     session.arm_crash_points(points);
     session.run_to_completion();
     drop(session);

@@ -44,6 +44,7 @@ use dhtm_sim::driver::SimulationResult;
 use dhtm_sim::workload::Workload;
 use dhtm_types::config::{BaseConfig, SystemConfig};
 use dhtm_types::policy::DesignKind;
+pub use dhtm_workloads::WorkloadError;
 
 /// Seed used by all experiments (results are deterministic given the seed).
 pub const EXPERIMENT_SEED: u64 = dhtm_scenario::DEFAULT_SEED;
@@ -85,11 +86,17 @@ pub const ALL_WORKLOADS: [&str; 8] = [
 
 /// Builds a workload by name ("queue".."rbtree", "tatp", "tpcc").
 ///
-/// # Panics
+/// Unknown names — a typo in a CLI flag or an ad-hoc spec — used to abort
+/// the whole matrix with a panic; they now come back as a
+/// [`WorkloadError`] whose message lists [`ALL_WORKLOADS`], mirroring what
+/// `RegistryError::UnknownEngine` does for engine ids.
 ///
-/// Panics if the name is unknown.
-pub fn workload_by_name(name: &str, seed: u64) -> Box<dyn Workload> {
-    dhtm_workloads::by_name(name, seed).unwrap_or_else(|| panic!("unknown workload {name}"))
+/// # Errors
+///
+/// Returns [`WorkloadError::Unknown`] if the name is not one of
+/// [`ALL_WORKLOADS`].
+pub fn workload_by_name(name: &str, seed: u64) -> Result<Box<dyn Workload>, WorkloadError> {
+    dhtm_workloads::try_by_name(name, seed)
 }
 
 /// Commit targets appropriate for each workload class (OLTP transactions are
@@ -175,7 +182,19 @@ mod tests {
     #[test]
     fn workloads_resolve_by_name() {
         for name in ALL_WORKLOADS {
-            assert_eq!(workload_by_name(name, 1).name(), name);
+            assert_eq!(workload_by_name(name, 1).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error_listing_the_catalogue() {
+        let Err(err) = workload_by_name("quene", 1) else {
+            panic!("'quene' must not resolve");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("'quene'"), "{msg}");
+        for name in ALL_WORKLOADS {
+            assert!(msg.contains(name), "{msg} should list {name}");
         }
     }
 

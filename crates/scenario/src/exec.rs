@@ -9,8 +9,8 @@
 //! exactly once.
 
 use dhtm_baselines::registry::{self, EngineFactory, EngineId};
+use dhtm_baselines::EngineDispatch;
 use dhtm_sim::driver::{RunLimits, SimulationResult, Simulator};
-use dhtm_sim::engine::TxEngine;
 use dhtm_sim::machine::Machine;
 use dhtm_sim::observer::SimObserver;
 use dhtm_sim::workload::Workload;
@@ -86,11 +86,16 @@ impl ResolvedSpec {
     ///
     /// Panics if the workload name is unknown (validated specs cannot hit
     /// this).
-    pub fn components(&self) -> (Machine, Box<dyn TxEngine>, Box<dyn Workload>, RunLimits) {
+    ///
+    /// The engine comes back as the registry's [`EngineDispatch`]: a closed
+    /// enum over the built-in designs, so the driver's step loop
+    /// monomorphises to a match instead of a vtable call. Out-of-tree
+    /// engines ride in its `Custom` variant.
+    pub fn components(&self) -> (Machine, EngineDispatch, Box<dyn Workload>, RunLimits) {
         let machine = Machine::new(self.config.clone());
         let engine = self.factory.build(&self.config);
-        let workload = dhtm_workloads::by_name(&self.workload, self.workload_seed)
-            .unwrap_or_else(|| panic!("unknown workload {}", self.workload));
+        let workload = dhtm_workloads::try_by_name(&self.workload, self.workload_seed)
+            .unwrap_or_else(|e| panic!("{e}"));
         let limits = RunLimits {
             target_commits: self.limits.target_commits,
             max_cycles: self.limits.max_cycles,
@@ -101,7 +106,7 @@ impl ResolvedSpec {
     /// Runs the spec to completion on a fresh machine.
     pub fn run(&self) -> SimulationResult {
         let (mut machine, mut engine, mut workload, limits) = self.components();
-        Simulator::new().run(&mut machine, engine.as_mut(), workload.as_mut(), &limits)
+        Simulator::new().run(&mut machine, &mut engine, workload.as_mut(), &limits)
     }
 
     /// Runs the spec with every semantic event streamed to `observer`.
@@ -110,7 +115,7 @@ impl ResolvedSpec {
         let (mut machine, mut engine, mut workload, limits) = self.components();
         Simulator::new().run_with_observer(
             &mut machine,
-            engine.as_mut(),
+            &mut engine,
             workload.as_mut(),
             &limits,
             observer,
@@ -144,7 +149,7 @@ mod tests {
         let resolved = spec.resolve().unwrap();
         let (mut machine, mut engine, mut workload, limits) = resolved.components();
         let by_hand = Simulator::new()
-            .run(&mut machine, engine.as_mut(), workload.as_mut(), &limits)
+            .run(&mut machine, &mut engine, workload.as_mut(), &limits)
             .stats;
         assert_eq!(via_spec, by_hand);
     }

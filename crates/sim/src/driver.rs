@@ -1,12 +1,21 @@
 //! The simulation driver: deterministic multicore execution of a workload on
 //! a design.
 //!
-//! The inner loop is an event-heap scheduler: each core has one entry in a
-//! min-heap keyed by `(local_time, core_index)`, so selecting the next core
-//! to step is O(log cores) instead of an O(cores) rescan. The tie-break on
-//! the core index makes the schedule identical to the historical
-//! linear-scan driver, so results are bit-for-bit reproducible across both
-//! implementations and any worker-pool sharding built on top.
+//! The inner loop is an event scheduler: each core has one pending event
+//! keyed by `(local_time, core_index)`, held in a bucketed
+//! [`CalendarQueue`] (see [`crate::calendar`]) — event times are dense
+//! small integers, so an O(1) ring of buckets beats a heap, and the
+//! queue's exact `(time, index)` order makes the schedule identical to the
+//! historical linear-scan and `BinaryHeap` drivers, so results are
+//! bit-for-bit reproducible across all three implementations and any
+//! worker-pool sharding built on top.
+//!
+//! The driver is generic over the engine, workload and observer types: the
+//! canonical engines run through `dhtm_baselines`' closed `EngineDispatch`
+//! enum, so the step loop's engine calls are match dispatch (inlinable)
+//! rather than vtable calls, and an unobserved run monomorphises its
+//! observer hooks to nothing. `&mut dyn TxEngine` callers keep working —
+//! the generics default to the trait objects.
 //!
 //! The loop itself lives in [`SimulationSession`], a checkpointed, resumable
 //! form of the run: callers can advance it one event at a time with
@@ -21,15 +30,13 @@
 //! subsystem (`dhtm_crash`) and the scenario metrics sink are the primary
 //! observer clients.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use dhtm_coherence::memsys::MemStats;
 use dhtm_nvm::domain::PersistentDomain;
 use dhtm_types::ids::CoreId;
 use dhtm_types::policy::DesignKind;
 use dhtm_types::stats::RunStats;
 
+use crate::calendar::CalendarQueue;
 use crate::engine::{StepOutcome, TxEngine};
 use crate::machine::Machine;
 use crate::observer::{NullObserver, SimObserver, StepContext};
@@ -95,30 +102,42 @@ impl SimulationResult {
     }
 }
 
-/// Per-core execution state inside the driver.
+/// Per-core execution state inside the driver, struct-of-arrays.
 ///
-/// Statistics are accumulated per core and merged into one [`RunStats`] in a
-/// single batch when the run finishes (see [`RunStats::merge_many`]); the
-/// hot loop never touches shared aggregate state.
+/// The step loop's scheduling decisions touch only the small hot fields
+/// (`time`, `op_idx`, `begun`, `attempts`), which live in their own dense
+/// arrays; the current transactions and the fat per-core [`RunStats`]
+/// accumulators sit in separate arrays so they never share cache lines
+/// with the scanned hot state. Statistics are accumulated per core and
+/// merged into one [`RunStats`] in a single batch when the run finishes
+/// (see [`RunStats::merge_many`]); the hot loop never touches shared
+/// aggregate state.
 #[derive(Debug)]
-struct CoreRun {
-    time: u64,
-    tx: Option<Transaction>,
-    op_idx: usize,
-    begun: bool,
-    attempts: u32,
-    stats: RunStats,
+struct CoreState {
+    /// Each core's local clock (hot).
+    time: Vec<u64>,
+    /// Index of the next op inside the current transaction (hot).
+    op_idx: Vec<u32>,
+    /// Whether the current transaction has begun (hot).
+    begun: Vec<bool>,
+    /// Abort-retry attempts of the current transaction (hot).
+    attempts: Vec<u32>,
+    /// The transaction each core is executing (cold: touched on fetch,
+    /// per-op read, and commit).
+    tx: Vec<Option<Transaction>>,
+    /// Per-core statistics batches (cold: touched on commit/abort/stall).
+    stats: Vec<RunStats>,
 }
 
-impl CoreRun {
-    fn new() -> Self {
-        CoreRun {
-            time: 0,
-            tx: None,
-            op_idx: 0,
-            begun: false,
-            attempts: 0,
-            stats: RunStats::new(),
+impl CoreState {
+    fn new(num_cores: usize) -> Self {
+        CoreState {
+            time: vec![0; num_cores],
+            op_idx: vec![0; num_cores],
+            begun: vec![false; num_cores],
+            attempts: vec![0; num_cores],
+            tx: (0..num_cores).map(|_| None).collect(),
+            stats: (0..num_cores).map(|_| RunStats::new()).collect(),
         }
     }
 }
@@ -146,13 +165,17 @@ impl Simulator {
     /// Setup transactions produced by the workload are applied directly to
     /// persistent memory before measurement starts (they model the
     /// already-persistent data structure the benchmark operates on).
-    pub fn run(
+    pub fn run<E, W>(
         &self,
         machine: &mut Machine,
-        engine: &mut dyn TxEngine,
-        workload: &mut dyn Workload,
+        engine: &mut E,
+        workload: &mut W,
         limits: &RunLimits,
-    ) -> SimulationResult {
+    ) -> SimulationResult
+    where
+        E: TxEngine + ?Sized,
+        W: Workload + ?Sized,
+    {
         let mut session = self.start(machine, engine, workload, limits);
         session.run_to_completion();
         session.into_result()
@@ -161,31 +184,40 @@ impl Simulator {
     /// Like [`Simulator::run`], with every semantic event streamed to
     /// `observer`. The observer cannot perturb the run; the returned result
     /// is bit-identical to an unobserved run.
-    pub fn run_with_observer(
+    pub fn run_with_observer<E, W, O>(
         &self,
         machine: &mut Machine,
-        engine: &mut dyn TxEngine,
-        workload: &mut dyn Workload,
+        engine: &mut E,
+        workload: &mut W,
         limits: &RunLimits,
-        observer: &mut dyn SimObserver,
-    ) -> SimulationResult {
+        observer: &mut O,
+    ) -> SimulationResult
+    where
+        E: TxEngine + ?Sized,
+        W: Workload + ?Sized,
+        O: SimObserver + ?Sized,
+    {
         let mut session = self.start(machine, engine, workload, limits);
         session.run_to_completion_with(observer);
         session.into_result()
     }
 
     /// Starts a checkpointed, resumable session: the setup phase runs, the
-    /// engine is initialised and the event heap is seeded, but no event is
+    /// engine is initialised and the event queue is seeded, but no event is
     /// processed yet. Advance it with [`SimulationSession::step`] /
     /// [`SimulationSession::run_to_completion`] and finish with
     /// [`SimulationSession::into_result`].
-    pub fn start<'a>(
+    pub fn start<'a, E, W>(
         &self,
         machine: &'a mut Machine,
-        engine: &'a mut dyn TxEngine,
-        workload: &'a mut dyn Workload,
+        engine: &'a mut E,
+        workload: &'a mut W,
         limits: &RunLimits,
-    ) -> SimulationSession<'a> {
+    ) -> SimulationSession<'a, E, W>
+    where
+        E: TxEngine + ?Sized,
+        W: Workload + ?Sized,
+    {
         // ---- Setup phase: populate persistent memory directly. ----
         for tx in workload.setup_transactions() {
             for op in &tx.ops {
@@ -202,15 +234,17 @@ impl Simulator {
         engine.init(machine);
 
         let num_cores = machine.num_cores();
-        let cores: Vec<CoreRun> = (0..num_cores).map(|_| CoreRun::new()).collect();
         let mem_stats_before = machine.mem.stats().clone();
         let log_records_before = machine.mem.domain().total_log_records();
 
-        // Event heap: one entry per core, keyed by (local time, core index).
-        // Popping yields the core with the smallest local time, ties broken
-        // by the lower index — the same schedule as a linear min-scan.
-        let events: BinaryHeap<Reverse<(u64, usize)>> =
-            (0..num_cores).map(|i| Reverse((0, i))).collect();
+        // Event queue: one entry per core, keyed by (local time, core
+        // index). Popping yields the core with the smallest local time,
+        // ties broken by the lower index — the same schedule as a linear
+        // min-scan or a binary heap.
+        let mut events = CalendarQueue::new();
+        for i in 0..num_cores {
+            events.push(0, i);
+        }
 
         SimulationSession {
             backoff_base: self.backoff_base,
@@ -219,7 +253,7 @@ impl Simulator {
             engine,
             workload,
             limits: *limits,
-            cores,
+            cores: CoreState::new(num_cores),
             events,
             total_committed: 0,
             mem_stats_before,
@@ -262,20 +296,29 @@ pub enum StepEvent {
 /// A checkpointed, resumable simulation run.
 ///
 /// The session owns the full scheduler state (per-core progress, the event
-/// heap, partially accumulated statistics) and borrows the machine, engine
+/// queue, partially accumulated statistics) and borrows the machine, engine
 /// and workload. Between steps the caller may inspect — but must not mutate —
 /// the machine; the persistent domain is exposed for crash snapshotting.
 /// Stepping a session to completion and collecting the result is bit-for-bit
 /// identical to [`Simulator::run`].
-pub struct SimulationSession<'a> {
+///
+/// The engine and workload type parameters default to the trait objects,
+/// so existing `SimulationSession<'a>` annotations keep meaning the
+/// dyn-dispatched form; monomorphised sessions (e.g. over the baselines
+/// crate's `EngineDispatch`) get static dispatch in the step loop.
+pub struct SimulationSession<'a, E: ?Sized = dyn TxEngine, W: ?Sized = dyn Workload>
+where
+    E: TxEngine,
+    W: Workload,
+{
     backoff_base: u64,
     backoff_cap: u64,
     machine: &'a mut Machine,
-    engine: &'a mut dyn TxEngine,
-    workload: &'a mut dyn Workload,
+    engine: &'a mut E,
+    workload: &'a mut W,
     limits: RunLimits,
-    cores: Vec<CoreRun>,
-    events: BinaryHeap<Reverse<(u64, usize)>>,
+    cores: CoreState,
+    events: CalendarQueue,
     total_committed: u64,
     mem_stats_before: MemStats,
     log_records_before: u64,
@@ -290,17 +333,17 @@ pub struct SimulationSession<'a> {
     lock_scratch: Vec<crate::locks::LockId>,
 }
 
-impl std::fmt::Debug for SimulationSession<'_> {
+impl<E: TxEngine + ?Sized, W: Workload + ?Sized> std::fmt::Debug for SimulationSession<'_, E, W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimulationSession")
             .field("total_committed", &self.total_committed)
             .field("finished", &self.finished)
-            .field("cores", &self.cores.len())
+            .field("cores", &self.cores.time.len())
             .finish_non_exhaustive()
     }
 }
 
-impl<'a> SimulationSession<'a> {
+impl<'a, E: TxEngine + ?Sized, W: Workload + ?Sized> SimulationSession<'a, E, W> {
     /// Arms the persistent domain to capture its exact durable image at
     /// each of `points` on the durable-mutation clock, and remembers the
     /// points so [`SimObserver::on_crash_point`] fires when a step crosses
@@ -323,7 +366,7 @@ impl<'a> SimulationSession<'a> {
         if self.finished || self.total_committed >= self.limits.target_commits {
             return None;
         }
-        self.events.peek().map(|Reverse((t, _))| *t)
+        self.events.peek_time()
     }
 
     /// Whether the run has terminated.
@@ -363,7 +406,7 @@ impl<'a> SimulationSession<'a> {
     /// Processes the next event, streaming its semantic events to
     /// `observer`. Observation is strictly read-only: stepping with any
     /// observer is bit-identical to stepping with none.
-    pub fn step_with(&mut self, observer: &mut dyn SimObserver) -> StepEvent {
+    pub fn step_with<O: SimObserver + ?Sized>(&mut self, observer: &mut O) -> StepEvent {
         if self.finished {
             return StepEvent::Finished;
         }
@@ -371,11 +414,11 @@ impl<'a> SimulationSession<'a> {
             self.finished = true;
             return StepEvent::Finished;
         }
-        let Some(Reverse((now, core_idx))) = self.events.pop() else {
+        let Some((now, core_idx)) = self.events.pop() else {
             self.finished = true;
             return StepEvent::Finished;
         };
-        debug_assert_eq!(now, self.cores[core_idx].time, "stale event-heap entry");
+        debug_assert_eq!(now, self.cores.time[core_idx], "stale event-queue entry");
         if now >= self.limits.max_cycles {
             self.finished = true;
             return StepEvent::Finished;
@@ -387,20 +430,21 @@ impl<'a> SimulationSession<'a> {
         let mut aborted_reason = None;
 
         // Ensure the core has a transaction to work on.
-        if self.cores[core_idx].tx.is_none() {
+        if self.cores.tx[core_idx].is_none() {
             let tx = self.workload.next_transaction(core);
             fetched = true;
-            self.cores[core_idx].tx = Some(tx);
-            self.cores[core_idx].op_idx = 0;
-            self.cores[core_idx].begun = false;
-            self.cores[core_idx].attempts = 0;
+            self.cores.tx[core_idx] = Some(tx);
+            self.cores.op_idx[core_idx] = 0;
+            self.cores.begun[core_idx] = false;
+            self.cores.attempts[core_idx] = 0;
         }
 
         // Decide and execute the next step.
         let (outcome, step_kind) = {
-            let run = &self.cores[core_idx];
-            let tx = run.tx.as_ref().expect("transaction present");
-            if !run.begun {
+            let tx = self.cores.tx[core_idx]
+                .as_ref()
+                .expect("transaction present");
+            if !self.cores.begun[core_idx] {
                 self.lock_scratch.clear();
                 self.lock_scratch.extend_from_slice(&tx.locks);
                 self.lock_scratch.sort_unstable();
@@ -410,8 +454,8 @@ impl<'a> SimulationSession<'a> {
                         .begin(self.machine, core, &self.lock_scratch, now),
                     Step::Begin,
                 )
-            } else if run.op_idx < tx.ops.len() {
-                match tx.ops[run.op_idx] {
+            } else if (self.cores.op_idx[core_idx] as usize) < tx.ops.len() {
+                match tx.ops[self.cores.op_idx[core_idx] as usize] {
                     TxOp::Compute(cycles) => (StepOutcome::done(now + cycles), Step::Op),
                     TxOp::Read(addr) => (self.engine.read(self.machine, core, addr, now), Step::Op),
                     TxOp::Write(addr, value) => (
@@ -427,12 +471,12 @@ impl<'a> SimulationSession<'a> {
         match outcome {
             StepOutcome::Done { at } => {
                 debug_assert!(at >= now, "time must not go backwards");
-                self.cores[core_idx].time = at.max(now);
+                self.cores.time[core_idx] = at.max(now);
                 match step_kind {
-                    Step::Begin => self.cores[core_idx].begun = true,
-                    Step::Op => self.cores[core_idx].op_idx += 1,
+                    Step::Begin => self.cores.begun[core_idx] = true,
+                    Step::Op => self.cores.op_idx[core_idx] += 1,
                     Step::Commit => {
-                        let tx = self.cores[core_idx].tx.take().expect("present");
+                        let tx = self.cores.tx[core_idx].take().expect("present");
                         self.total_committed += 1;
                         let tx_stats = self.engine.last_tx_stats(core);
                         let ws = if tx_stats.write_set_lines > 0 {
@@ -445,7 +489,7 @@ impl<'a> SimulationSession<'a> {
                         } else {
                             tx.read_set_lines().len()
                         };
-                        let stats = &mut self.cores[core_idx].stats;
+                        let stats = &mut self.cores.stats[core_idx];
                         stats.committed += 1;
                         stats.loads += tx.load_count() as u64;
                         stats.stores += tx.store_count() as u64;
@@ -457,34 +501,34 @@ impl<'a> SimulationSession<'a> {
             }
             StepOutcome::Stall { retry_at } => {
                 let wait = retry_at.saturating_sub(now).max(1);
-                let run = &mut self.cores[core_idx];
-                run.stats.total_stall_cycles += wait;
+                let stats = &mut self.cores.stats[core_idx];
+                stats.total_stall_cycles += wait;
                 match step_kind {
-                    Step::Begin => run.stats.lock_wait_cycles += wait,
-                    Step::Commit => run.stats.commit_stall_cycles += wait,
+                    Step::Begin => stats.lock_wait_cycles += wait,
+                    Step::Commit => stats.commit_stall_cycles += wait,
                     Step::Op => {}
                 }
-                run.time = now + wait;
+                self.cores.time[core_idx] = now + wait;
             }
             StepOutcome::Aborted {
                 at,
                 retry_at,
                 reason,
             } => {
-                self.cores[core_idx].stats.record_abort(reason);
-                let attempts = self.cores[core_idx].attempts;
+                self.cores.stats[core_idx].record_abort(reason);
+                let attempts = self.cores.attempts[core_idx];
                 let resume = at.max(retry_at).max(now) + self.backoff(attempts, core);
-                self.cores[core_idx].time = resume;
-                self.cores[core_idx].op_idx = 0;
-                self.cores[core_idx].begun = false;
-                self.cores[core_idx].attempts = attempts.saturating_add(1);
+                self.cores.time[core_idx] = resume;
+                self.cores.op_idx[core_idx] = 0;
+                self.cores.begun[core_idx] = false;
+                self.cores.attempts[core_idx] = attempts.saturating_add(1);
                 aborted_reason = Some(reason);
             }
         }
 
-        let t = self.cores[core_idx].time;
-        self.cores[core_idx].stats.steps += 1;
-        self.events.push(Reverse((t, core_idx)));
+        let t = self.cores.time[core_idx];
+        self.cores.stats[core_idx].steps += 1;
+        self.events.push(t, core_idx);
 
         // ---- Observer callbacks: all simulated state is final for this
         // step, everything handed out is immutable. Fixed order: begin,
@@ -500,7 +544,7 @@ impl<'a> SimulationSession<'a> {
             domain: self.machine.mem.domain(),
         };
         if fetched {
-            let tx = self.cores[core_idx].tx.as_ref().expect("just fetched");
+            let tx = self.cores.tx[core_idx].as_ref().expect("just fetched");
             observer.on_begin(&ctx, tx);
         }
         if mutations_after > mutations_before {
@@ -532,7 +576,7 @@ impl<'a> SimulationSession<'a> {
 
     /// Steps until the run's limits are reached, streaming every semantic
     /// event to `observer`.
-    pub fn run_to_completion_with(&mut self, observer: &mut dyn SimObserver) {
+    pub fn run_to_completion_with<O: SimObserver + ?Sized>(&mut self, observer: &mut O) {
         while !matches!(self.step_with(observer), StepEvent::Finished) {}
     }
 
@@ -540,10 +584,10 @@ impl<'a> SimulationSession<'a> {
     /// batches are merged and the machine-global memory-system deltas added.
     /// Valid at any cut point, not just at completion.
     pub fn into_result(mut self) -> SimulationResult {
-        for c in &mut self.cores {
-            c.stats.total_cycles = c.time;
+        for (stats, &time) in self.cores.stats.iter_mut().zip(&self.cores.time) {
+            stats.total_cycles = time;
         }
-        let mut stats = RunStats::merge_many(self.cores.iter().map(|c| &c.stats));
+        let mut stats = RunStats::merge_many(self.cores.stats.iter());
         let mem_stats = self.machine.mem.stats();
         stats.l1_hits = mem_stats.l1_hits - self.mem_stats_before.l1_hits;
         stats.l1_misses = mem_stats.l1_misses - self.mem_stats_before.l1_misses;

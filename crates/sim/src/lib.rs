@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod calendar;
 pub mod driver;
 pub mod engine;
 pub mod locks;

@@ -74,6 +74,20 @@ pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Workload>> {
     }
 }
 
+/// Builds any of the paper's eight workloads by name, with a diagnosable
+/// error instead of [`by_name`]'s `None`: the error names the rejected
+/// workload and lists everything that would have resolved, in the spirit of
+/// `RegistryError::UnknownEngine` on the engine side. Use this anywhere the
+/// name comes from user input (CLI flags, spec files) rather than a
+/// hard-coded catalogue.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Unknown`] when `name` is not one of [`NAMES`].
+pub fn try_by_name(name: &str, seed: u64) -> Result<Box<dyn Workload>, WorkloadError> {
+    by_name(name, seed).ok_or_else(|| WorkloadError::Unknown(name.to_string()))
+}
+
 /// All eight workload names, in the paper's order.
 pub const NAMES: [&str; 8] = [
     "queue", "hash", "sdg", "sps", "btree", "rbtree", "tatp", "tpcc",
@@ -84,6 +98,33 @@ pub const NAMES: [&str; 8] = [
 pub fn is_known(name: &str) -> bool {
     NAMES.contains(&name)
 }
+
+/// Errors from name-based workload resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// No workload with this name exists; the display form lists [`NAMES`]
+    /// so a typo in a CLI flag or spec file is self-correcting.
+    Unknown(String),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Unknown(name) => {
+                write!(f, "no workload '{name}': known workloads are ")?;
+                for (i, known) in NAMES.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "'{known}'")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 #[cfg(test)]
 mod tests {
@@ -97,6 +138,20 @@ mod tests {
             assert_eq!(by_name(name, 7).unwrap().name(), name);
         }
         assert!(by_name("nope", 7).is_none());
+    }
+
+    #[test]
+    fn try_by_name_lists_the_catalogue_on_unknown_names() {
+        assert_eq!(try_by_name("hash", 7).unwrap().name(), "hash");
+        let Err(err) = try_by_name("hsah", 7) else {
+            panic!("'hsah' must not resolve");
+        };
+        assert_eq!(err, WorkloadError::Unknown("hsah".to_string()));
+        let msg = err.to_string();
+        assert!(msg.contains("'hsah'"), "{msg}");
+        for name in NAMES {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
     }
 
     #[test]

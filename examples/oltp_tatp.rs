@@ -21,7 +21,7 @@ fn main() {
         let mut machine = Machine::new(cfg.clone());
         let mut engine = build_engine(design, &cfg);
         let mut workload = TatpWorkload::new(11);
-        let res = Simulator::new().run(&mut machine, engine.as_mut(), &mut workload, &limits);
+        let res = Simulator::new().run(&mut machine, &mut engine, &mut workload, &limits);
         results.push((design, res));
     }
     let so = results[0].1.throughput();

@@ -19,7 +19,7 @@ fn run(
     let mut engine = build_engine(design, &cfg);
     let mut wl = micro_by_name(workload, 5).unwrap();
     let limits = RunLimits::quick().with_target_commits(commits);
-    let res = Simulator::new().run(&mut machine, engine.as_mut(), wl.as_mut(), &limits);
+    let res = Simulator::new().run(&mut machine, &mut engine, wl.as_mut(), &limits);
     (res, machine)
 }
 

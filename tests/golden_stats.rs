@@ -22,10 +22,10 @@ fn run_design(kind: DesignKind) -> RunStats {
     let cfg = SystemConfig::small_test();
     let mut machine = Machine::new(cfg.clone());
     let mut engine = build_engine(kind, &cfg);
-    let mut workload = workload_by_name(GOLDEN_WORKLOAD, GOLDEN_SEED);
+    let mut workload = workload_by_name(GOLDEN_WORKLOAD, GOLDEN_SEED).expect("golden workload");
     let limits = RunLimits::quick().with_target_commits(GOLDEN_COMMITS);
     Simulator::new()
-        .run(&mut machine, engine.as_mut(), workload.as_mut(), &limits)
+        .run(&mut machine, &mut engine, workload.as_mut(), &limits)
         .stats
 }
 
