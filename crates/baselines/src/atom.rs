@@ -8,8 +8,7 @@
 //! persistent memory, so the data-flush latency sits on the commit critical
 //! path (Section VI-A of the paper).
 
-use std::collections::BTreeSet;
-
+use dhtm_cache::lineset::LineSet;
 use dhtm_coherence::probe::NoConflicts;
 use dhtm_nvm::record::LogRecord;
 use dhtm_types::addr::{Address, LineAddr};
@@ -28,9 +27,9 @@ const LOCK_SPIN: u64 = 60;
 #[derive(Debug, Clone, Default)]
 struct AtomCore {
     tx: TxId,
-    undo_logged: BTreeSet<LineAddr>,
-    written_lines: BTreeSet<LineAddr>,
-    read_lines: BTreeSet<LineAddr>,
+    undo_logged: LineSet,
+    written_lines: LineSet,
+    read_lines: LineSet,
     loads: usize,
     stores: usize,
     log_records: usize,
@@ -47,6 +46,9 @@ pub struct AtomEngine {
     locks: LockTable,
     lock_acquire: u64,
     lock_release: u64,
+    /// Reusable buffer for the abort path's undo walk: `(line,
+    /// before-image)` pairs staged oldest-first, applied newest-first.
+    undo_scratch: Vec<(LineAddr, [u64; 8])>,
 }
 
 impl AtomEngine {
@@ -57,6 +59,7 @@ impl AtomEngine {
             locks: LockTable::new(),
             lock_acquire: cfg.software.lock_acquire,
             lock_release: cfg.software.lock_release,
+            undo_scratch: Vec::new(),
         }
     }
 
@@ -97,29 +100,31 @@ impl AtomEngine {
         let thread = ThreadId::from(core);
         let tx = self.cores[core.get()].tx;
         let mut at = now;
-        let undo_records: Vec<LogRecord> = machine
-            .mem
-            .domain()
-            .log(thread)
-            .records_for(tx)
-            .into_iter()
-            .filter(|r| matches!(r.kind, dhtm_nvm::record::RecordKind::Undo { .. }))
-            .collect();
-        for rec in undo_records.iter().rev() {
-            if let dhtm_nvm::record::RecordKind::Undo { line, data } = rec.kind {
-                machine.mem.invalidate_l1_line(core, line);
-                machine.mem.invalidate_llc_line(line);
-                machine.mem.persist_data_line(at, line, data);
-                at += machine.mem.latency().llc_hit;
-            }
+        // Stage the undo walk through the reusable scratch buffer (the
+        // restore mutates the machine the log borrows from), then apply it
+        // newest-first; same records, same order.
+        self.undo_scratch.clear();
+        self.undo_scratch.extend(
+            machine
+                .mem
+                .domain()
+                .log(thread)
+                .iter()
+                .filter(|r| r.tx == tx)
+                .filter_map(|r| match r.kind {
+                    dhtm_nvm::record::RecordKind::Undo { line, data } => Some((line, data)),
+                    _ => None,
+                }),
+        );
+        for &(line, data) in self.undo_scratch.iter().rev() {
+            machine.mem.invalidate_l1_line(core, line);
+            machine.mem.invalidate_llc_line(line);
+            machine.mem.persist_data_line(at, line, data);
+            at += machine.mem.latency().llc_hit;
         }
-        // Discard whatever speculative state remains in the L1.
-        let written: Vec<LineAddr> = self.cores[core.get()]
-            .written_lines
-            .iter()
-            .copied()
-            .collect();
-        for line in written {
+        // Discard whatever speculative state remains in the L1, in
+        // ascending line order as the shadow set has always iterated.
+        for line in self.cores[core.get()].written_lines.iter() {
             machine.mem.invalidate_l1_line(core, line);
         }
         if machine
@@ -200,7 +205,7 @@ impl TxEngine for AtomEngine {
     ) -> StepOutcome {
         let line = addr.line();
         // Capture the before-image *before* the store updates the line.
-        let old_data = if self.cores[core.get()].undo_logged.contains(&line) {
+        let old_data = if self.cores[core.get()].undo_logged.contains(line) {
             None
         } else {
             Some(
@@ -258,12 +263,9 @@ impl TxEngine for AtomEngine {
         // must be flushed from there — and a line absent from both caches
         // was already written in place by the eviction chain.
         let mut flush_done = now.max(self.cores[core.get()].undo_persist_horizon);
-        let written: Vec<LineAddr> = self.cores[core.get()]
-            .written_lines
-            .iter()
-            .copied()
-            .collect();
-        for line in written {
+        // Ascending line order — the order the shadow set has always
+        // iterated; it determines the flush schedule.
+        for line in self.cores[core.get()].written_lines.iter() {
             if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, now) {
                 flush_done = flush_done.max(done);
             } else if let Some(done) = machine.mem.llc_writeback_line_to_memory(line, now) {

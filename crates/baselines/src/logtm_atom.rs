@@ -44,6 +44,12 @@ pub struct LogTmAtomEngine {
     nack_streak: Vec<u32>,
     policy: dhtm_types::policy::ConflictPolicy,
     signature_bits: usize,
+    /// Reusable line buffer for the commit flush and abort invalidation
+    /// walks, so neither path allocates per transaction.
+    scratch_lines: Vec<LineAddr>,
+    /// Reusable buffer for the abort path's undo walk: `(line,
+    /// before-image)` pairs staged oldest-first, applied newest-first.
+    undo_scratch: Vec<(LineAddr, [u64; 8])>,
 }
 
 impl LogTmAtomEngine {
@@ -55,6 +61,8 @@ impl LogTmAtomEngine {
             nack_streak: Vec::new(),
             policy: cfg.conflict_policy,
             signature_bits: cfg.read_signature_bits,
+            scratch_lines: Vec::new(),
+            undo_scratch: Vec::new(),
         }
     }
 
@@ -102,29 +110,37 @@ impl LogTmAtomEngine {
         let mut at = now + TX_BOOKKEEPING;
 
         // Walk the undo log newest-first, restoring before-images in place.
-        let undo_records: Vec<LogRecord> = machine
-            .mem
-            .domain()
-            .log(thread)
-            .records_for(tx)
-            .into_iter()
-            .filter(|r| matches!(r.kind, dhtm_nvm::record::RecordKind::Undo { .. }))
-            .collect();
-        for rec in undo_records.iter().rev() {
-            if let dhtm_nvm::record::RecordKind::Undo { line, data } = rec.kind {
-                machine.mem.invalidate_l1_line(core, line);
-                machine.mem.invalidate_llc_line(line);
-                // The undo writes are issued here (consuming bandwidth) but
-                // the core only pays a fixed per-line handler cost; the
-                // writes drain in the background before the retry commits.
-                machine.mem.persist_data_line(at, line, data);
-                at += machine.mem.latency().llc_hit;
-            }
+        // Staged through the reusable scratch buffer (the restore mutates
+        // the machine the log borrows from); same records, same order.
+        self.undo_scratch.clear();
+        self.undo_scratch.extend(
+            machine
+                .mem
+                .domain()
+                .log(thread)
+                .iter()
+                .filter(|r| r.tx == tx)
+                .filter_map(|r| match r.kind {
+                    dhtm_nvm::record::RecordKind::Undo { line, data } => Some((line, data)),
+                    _ => None,
+                }),
+        );
+        for &(line, data) in self.undo_scratch.iter().rev() {
+            machine.mem.invalidate_l1_line(core, line);
+            machine.mem.invalidate_llc_line(line);
+            // The undo writes are issued here (consuming bandwidth) but
+            // the core only pays a fixed per-line handler cost; the
+            // writes drain in the background before the retry commits.
+            machine.mem.persist_data_line(at, line, data);
+            at += machine.mem.latency().llc_hit;
         }
         // Clear any remaining speculative L1 state and the log.
-        let invalidated = machine.mem.l1_mut(core).flash_invalidate_write_set();
-        for line in &invalidated {
-            machine.mem.notify_clean_eviction(core, *line);
+        machine
+            .mem
+            .l1_mut(core)
+            .flash_invalidate_write_set_into(&mut self.scratch_lines);
+        for &line in &self.scratch_lines {
+            machine.mem.notify_clean_eviction(core, line);
         }
         machine.mem.l1_mut(core).flash_clear_read_bits();
         let _ = machine
@@ -314,8 +330,11 @@ impl TxEngine for LogTmAtomEngine {
         // Undo-based durable commit: wait for the undo log *and* the in-place
         // flush of the whole write set (resident + overflowed).
         let mut flush_done = now.max(self.undo_horizon[core.get()]);
-        let resident: Vec<LineAddr> = machine.mem.l1(core).write_set();
-        for line in resident {
+        self.scratch_lines.clear();
+        self.scratch_lines
+            .extend(machine.mem.l1(core).write_set_iter());
+        for i in 0..self.scratch_lines.len() {
+            let line = self.scratch_lines[i];
             if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, now) {
                 flush_done = flush_done.max(done);
             }
@@ -323,9 +342,9 @@ impl TxEngine for LogTmAtomEngine {
                 e.write_bit = false;
             }
         }
-        let overflowed: Vec<LineAddr> =
-            self.states[core.get()].overflowed.iter().copied().collect();
-        for line in overflowed {
+        // Overflowed lines flush in ascending line order — the order the
+        // shadow set has always iterated.
+        for line in self.states[core.get()].overflowed.iter() {
             if let Some(done) = machine.mem.llc_writeback_line_to_memory(line, now) {
                 flush_done = flush_done.max(done);
             }

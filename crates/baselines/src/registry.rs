@@ -401,9 +401,18 @@ impl EngineRegistry {
         self.entries.iter()
     }
 
-    /// The registered ids, in registration order.
+    /// Iterates the registered ids in registration order, borrowing — the
+    /// form for hot or per-cell paths; [`EngineRegistry::ids`] is the
+    /// allocating convenience for tests and one-shot reports.
+    pub fn ids_iter(&self) -> impl Iterator<Item = &EngineId> {
+        self.entries.iter().map(|e| e.id())
+    }
+
+    /// The registered ids, in registration order. Allocates (a `Vec` and a
+    /// `String` clone per id): fine for report headers and tests, wrong in
+    /// a loop — iterate [`EngineRegistry::ids_iter`] there instead.
     pub fn ids(&self) -> Vec<EngineId> {
-        self.entries.iter().map(|e| e.id().clone()).collect()
+        self.ids_iter().cloned().collect()
     }
 
     /// Number of registered engines.
@@ -490,8 +499,17 @@ pub fn global_snapshot() -> EngineRegistry {
 
 /// The table label for an engine id: the registered label, or the raw id
 /// for unregistered engines (reports should never panic over a name).
+///
+/// Clones one `String` under the registry read lock — it no longer clones
+/// the whole factory on the way (the old `resolve(id)` detour). Still a
+/// per-call allocation, so report rows should cache the result rather than
+/// call this per event.
 pub fn label_of(id: &EngineId) -> String {
-    resolve(id).map_or_else(|| id.to_string(), |f| f.info().label.clone())
+    global_lock()
+        .read()
+        .expect("engine registry poisoned")
+        .get(id)
+        .map_or_else(|| id.to_string(), |f| f.info().label.clone())
 }
 
 #[cfg(test)]

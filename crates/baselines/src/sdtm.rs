@@ -7,11 +7,12 @@
 //! doubles, which increases capacity aborts, and the log lines must be
 //! flushed to persistent memory on the commit critical path.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
+use dhtm_cache::lineset::LineSet;
 use dhtm_htm::rtm::RtmEngine;
 use dhtm_nvm::record::LogRecord;
-use dhtm_types::addr::{Address, LineAddr};
+use dhtm_types::addr::Address;
 use dhtm_types::config::SystemConfig;
 use dhtm_types::ids::{CoreId, ThreadId, TxId};
 use dhtm_types::policy::DesignKind;
@@ -30,8 +31,8 @@ const LOG_AREA_STRIDE: u64 = 1 << 32;
 #[derive(Debug, Clone, Default)]
 struct SdTmCore {
     tx: TxId,
-    logged_lines: BTreeSet<LineAddr>,
-    written_lines: BTreeSet<LineAddr>,
+    logged_lines: LineSet,
+    written_lines: LineSet,
     /// Word values stored by the current transaction while on the fallback
     /// path (the fallback runs write-aside: the durable log, not the cache,
     /// carries the stores until commit).
@@ -146,15 +147,14 @@ impl TxEngine for SdTmEngine {
                 // the clean cached lines holding aborted values discarded.
                 machine.mem.domain_mut().purge_log_tx(thread, tx);
                 machine.mem.domain_mut().reclaim_log(thread);
-                let lines: Vec<LineAddr> = self.cores[core.get()]
+                for l in self.cores[core.get()]
                     .fallback_values
                     .keys()
                     .map(|a| a.line())
-                    .chain(std::iter::once(line))
-                    .collect();
-                for l in lines {
+                {
                     machine.mem.invalidate_l1_line(core, l);
                 }
+                machine.mem.invalidate_l1_line(core, line);
                 return self
                     .htm
                     .abort_current(machine, core, at, AbortReason::LogOverflow);
@@ -193,24 +193,20 @@ impl TxEngine for SdTmEngine {
         let tx = self.cores[core.get()].tx;
         let fallback = self.htm.in_fallback(core);
         let mut durable = now.max(self.cores[core.get()].fallback_log_horizon);
-        let written: Vec<LineAddr> = self.cores[core.get()]
-            .written_lines
-            .iter()
-            .copied()
-            .collect();
         if !fallback {
             // Hardware path: compose the line-granular redo entries from the
-            // resident write set. (The fallback path already streamed
+            // resident write set, in ascending line order as the shadow set
+            // has always iterated. (The fallback path already streamed
             // word-granular records synchronously at each store.)
-            for line in &written {
+            for line in self.cores[core.get()].written_lines.iter() {
                 let data = machine
                     .mem
                     .l1(core)
-                    .entry(*line)
+                    .entry(line)
                     .map(|e| e.data)
-                    .or_else(|| machine.mem.llc().entry(*line).map(|e| e.data))
-                    .unwrap_or_else(|| machine.mem.domain().read_line(*line));
-                let record = LogRecord::redo(tx, *line, data);
+                    .or_else(|| machine.mem.llc().entry(line).map(|e| e.data))
+                    .unwrap_or_else(|| machine.mem.domain().read_line(line));
+                let record = LogRecord::redo(tx, line, data);
                 let bytes = record.size_bytes();
                 if machine.mem.domain_mut().append_log(thread, record).is_ok() {
                     durable = durable.max(machine.mem.persist_log_bytes(now, bytes));
@@ -237,7 +233,7 @@ impl TxEngine for SdTmEngine {
             // Write-aside fallback: lines may have left the (clean) cache at
             // any point, so each in-place image is composed from the
             // persistent copy overlaid with the transaction's stores.
-            for line in written {
+            for line in self.cores[core.get()].written_lines.iter() {
                 let done = machine.mem.persist_composed_line(
                     core,
                     line,
@@ -247,7 +243,7 @@ impl TxEngine for SdTmEngine {
                 completion = completion.max(done);
             }
         } else {
-            for line in written {
+            for line in self.cores[core.get()].written_lines.iter() {
                 if let Some(done) = machine.mem.l1_writeback_line_to_memory(core, line, at) {
                     completion = completion.max(done);
                 }

@@ -12,11 +12,12 @@
 //! * a durable commit record at transaction end; data write-back happens
 //!   lazily off the critical path (redo logging).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
+use dhtm_cache::lineset::LineSet;
 use dhtm_coherence::probe::NoConflicts;
 use dhtm_nvm::record::LogRecord;
-use dhtm_types::addr::{Address, LineAddr};
+use dhtm_types::addr::Address;
 use dhtm_types::config::SystemConfig;
 use dhtm_types::ids::{CoreId, ThreadId, TxId};
 use dhtm_types::policy::DesignKind;
@@ -34,9 +35,9 @@ const LOCK_SPIN: u64 = 60;
 struct SoCore {
     tx: TxId,
     active: bool,
-    logged_lines: BTreeSet<LineAddr>,
-    read_lines: BTreeSet<LineAddr>,
-    written_lines: BTreeSet<LineAddr>,
+    logged_lines: LineSet,
+    read_lines: LineSet,
+    written_lines: LineSet,
     /// The word values stored by the current transaction (the software
     /// write-aside set): the source of truth for the commit write-back of
     /// lines that have left the L1 by commit time.
@@ -256,13 +257,10 @@ impl TxEngine for SoEngine {
         // in-place image is composed from the persistent copy overlaid with
         // the transaction's write-aside values — the cache copy may have been
         // evicted (and discarded) at any point.
-        let written: Vec<LineAddr> = self.cores[core.get()]
-            .written_lines
-            .iter()
-            .copied()
-            .collect();
         let mut completion = commit_done;
-        for line in written {
+        // Ascending line order — the order the shadow set has always
+        // iterated; it determines the write-back schedule.
+        for line in self.cores[core.get()].written_lines.iter() {
             let done = machine.mem.persist_composed_line(
                 core,
                 line,

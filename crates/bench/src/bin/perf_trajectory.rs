@@ -4,9 +4,12 @@
 //! the small test machine) through the harness, measures wall-clock per
 //! engine and reports the simulator's throughput in *driver steps per
 //! second* (`RunStats::steps` over elapsed time). The result is written as
-//! JSON (`BENCH_PR5.json` at the repo root by default): each PR appends a
-//! point to the trajectory, so "did this PR make the simulator faster or
-//! slower?" has a recorded answer instead of a guess.
+//! JSON at the repo root: each PR appends a point to the trajectory, so
+//! "did this PR make the simulator faster or slower?" has a recorded answer
+//! instead of a guess. By default the output name and point label continue
+//! the trajectory — one past the highest `BENCH_PR<N>.json` already in the
+//! working directory — so recording a new point is just `perf_trajectory`
+//! with no arguments.
 //!
 //! Simulated results are asserted, not measured: every cell must commit its
 //! full target, so a perf number can never come from a silently truncated
@@ -38,34 +41,38 @@ const WORKLOADS: [&str; 2] = ["hash", "queue"];
 /// enough that steady-state dominates setup.
 const COMMITS: u64 = 30;
 
+/// `out`/`point` stay `None` until the defaults are derived in `main` —
+/// deriving scans the working directory, which only the final values
+/// should do (not `--help`, not a parse error).
 struct Opts {
-    out: PathBuf,
+    out: Option<PathBuf>,
     check: Option<String>,
     tolerance_percent: f64,
     repeat: usize,
-    point: String,
+    point: Option<String>,
 }
 
 impl Default for Opts {
     fn default() -> Self {
         Opts {
-            out: PathBuf::from("BENCH_PR6.json"),
+            out: None,
             check: None,
             tolerance_percent: 25.0,
             repeat: 3,
-            point: "PR6".to_string(),
+            point: None,
         }
     }
 }
 
 const USAGE: &str = "options:
-  --out PATH        where to write the trajectory JSON (default BENCH_PR6.json)
+  --out PATH        where to write the trajectory JSON (default: one past the
+                    highest BENCH_PR<N>.json in the working directory)
   --check REF       fail if aggregate steps/sec regresses > tolerance vs REF;
                     REF may contain one '*' (e.g. 'BENCH_PR*.json') — the
                     match with the highest embedded number is used
   --tolerance PCT   allowed regression in percent (default 25)
   --repeat N        timing repetitions per engine, fastest wins (default 3)
-  --point NAME      trajectory point label (default PR6)
+  --point NAME      trajectory point label (default: PR<N>, matching --out)
   --help            print this help";
 
 fn parse_opts() -> Result<Opts, String> {
@@ -77,7 +84,7 @@ fn parse_opts() -> Result<Opts, String> {
                 .ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
-            "--out" => opts.out = PathBuf::from(value("--out")?),
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--check" => opts.check = Some(value("--check")?),
             "--tolerance" => {
                 let v = value("--tolerance")?;
@@ -97,7 +104,7 @@ fn parse_opts() -> Result<Opts, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--repeat needs a positive integer, got '{v}'"))?;
             }
-            "--point" => opts.point = value("--point")?,
+            "--point" => opts.point = Some(value("--point")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -242,11 +249,83 @@ fn reference_engine_rates(text: &str) -> Vec<(String, f64)> {
     rates
 }
 
+/// Parses the wildcard portion of a matched file name as a trajectory
+/// number: the whole string must be ASCII digits. A stray `backup` or
+/// `9_old` in the wildcard means the file is *not* a trajectory point and
+/// must not compete for "newest" — an earlier version scraped out whatever
+/// digits it found (so `BENCH_PR9_old.json` outranked `BENCH_PR6.json`)
+/// and treated digit-free junk as point 0.
+fn parse_pure_number(wild: &str) -> Option<u64> {
+    if wild.is_empty() || !wild.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    wild.parse().ok()
+}
+
+/// Picks the file name whose wildcard portion carries the highest number
+/// (`BENCH_PR10.json` beats `BENCH_PR6.json` despite sorting lower
+/// lexicographically). Matches whose wildcard portion is not purely a
+/// number are skipped with a warning on stderr.
+fn best_numbered_match(
+    names: impl IntoIterator<Item = String>,
+    prefix: &str,
+    suffix: &str,
+) -> Option<(u64, String)> {
+    let mut best: Option<(u64, String)> = None;
+    for fname in names {
+        if fname.len() < prefix.len() + suffix.len()
+            || !fname.starts_with(prefix)
+            || !fname.ends_with(suffix)
+        {
+            continue;
+        }
+        let wild = &fname[prefix.len()..fname.len() - suffix.len()];
+        let Some(number) = parse_pure_number(wild) else {
+            eprintln!(
+                "warning: ignoring '{fname}' — '{wild}' is not a number, \
+                 so it cannot be a trajectory point"
+            );
+            continue;
+        };
+        let candidate = (number, fname);
+        if best.as_ref().is_none_or(|b| candidate > *b) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// The file names in `dir` (non-UTF-8 names skipped; a missing or
+/// unreadable dir is just empty).
+fn dir_file_names(dir: &std::path::Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter_map(|e| e.file_name().into_string().ok())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// One past the highest `BENCH_PR<N>.json` in the working directory — the
+/// derived default for `--out`/`--point`, so "record this PR's point" never
+/// needs an edited command line (an earlier version hard-coded the previous
+/// PR's file name as the default, silently overwriting the checked-in
+/// point). Falls back to 1 in a directory with no trajectory points.
+fn next_trajectory_number() -> u64 {
+    best_numbered_match(
+        dir_file_names(std::path::Path::new(".")),
+        "BENCH_PR",
+        ".json",
+    )
+    .map_or(1, |(n, _)| n + 1)
+}
+
 /// Resolves a `--check` reference that may contain one `*` wildcard in its
-/// file name. Among the matches, the one with the highest number embedded
-/// in the wildcard portion wins (`BENCH_PR10.json` beats `BENCH_PR6.json`
-/// despite sorting lower lexicographically) — "the newest checked-in
-/// trajectory point" without hard-coding any PR number into CI.
+/// file name. Among the matches, the one with the highest number in the
+/// wildcard portion wins — "the newest checked-in trajectory point"
+/// without hard-coding any PR number into CI.
 fn resolve_reference(pattern: &str) -> PathBuf {
     if !pattern.contains('*') {
         return PathBuf::from(pattern);
@@ -268,31 +347,11 @@ fn resolve_reference(pattern: &str) -> PathBuf {
     );
     let entries = std::fs::read_dir(dir)
         .unwrap_or_else(|e| panic!("cannot list reference dir {}: {e}", dir.display()));
-    let mut best: Option<(u64, String)> = None;
-    for entry in entries.flatten() {
-        let Ok(fname) = entry.file_name().into_string() else {
-            continue;
-        };
-        if fname.len() < prefix.len() + suffix.len()
-            || !fname.starts_with(prefix)
-            || !fname.ends_with(suffix)
-        {
-            continue;
-        }
-        let wild = &fname[prefix.len()..fname.len() - suffix.len()];
-        let number = wild
-            .chars()
-            .filter(char::is_ascii_digit)
-            .collect::<String>()
-            .parse::<u64>()
-            .unwrap_or(0);
-        let candidate = (number, fname);
-        if best.as_ref().is_none_or(|b| candidate > *b) {
-            best = Some(candidate);
-        }
-    }
-    let (_, fname) =
-        best.unwrap_or_else(|| panic!("no file matches reference pattern '{pattern}'"));
+    let names = entries
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok());
+    let (_, fname) = best_numbered_match(names, prefix, suffix)
+        .unwrap_or_else(|| panic!("no numbered file matches reference pattern '{pattern}'"));
     dir.join(fname)
 }
 
@@ -304,6 +363,15 @@ fn main() {
             std::process::exit(if msg == USAGE { 0 } else { 2 });
         }
     };
+    // Derive whichever of --out/--point was not given from the trajectory
+    // itself: one past the highest BENCH_PR<N>.json already present.
+    let next = (opts.out.is_none() || opts.point.is_none()).then(next_trajectory_number);
+    let out = opts
+        .out
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_PR{}.json", next.expect("derived"))));
+    let point = opts
+        .point
+        .unwrap_or_else(|| format!("PR{}", next.expect("derived")));
 
     // Read the reference before writing, so a `--check` pattern that also
     // matches `--out` compares against the checked-in point and then
@@ -323,7 +391,7 @@ fn main() {
 
     println!(
         "# perf trajectory {}: {} x {:?} on the small machine, {} commits/cell, best of {}",
-        opts.point,
+        point,
         DesignKind::ALL.len(),
         WORKLOADS,
         COMMITS,
@@ -342,13 +410,12 @@ fn main() {
         engines.push(point);
     }
 
-    let json = render_json(&opts.point, &engines);
+    let json = render_json(&point, &engines);
     let aggregate = reference_steps_per_sec(&json).expect("own emitter carries the field");
-    std::fs::write(&opts.out, &json)
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out.display()));
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
     println!(
         "aggregate: {aggregate:.0} steps/s  (wrote {})",
-        opts.out.display()
+        out.display()
     );
 
     if let Some((ref_path, reference, ref_rates)) = reference {
@@ -390,6 +457,87 @@ fn main() {
              (reference {reference:.0} from {}, tolerance {:.0}%)",
             ref_path.display(),
             opts.tolerance_percent
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn pure_numbers_parse_and_junk_does_not() {
+        assert_eq!(parse_pure_number("6"), Some(6));
+        assert_eq!(parse_pure_number("007"), Some(7));
+        assert_eq!(parse_pure_number(""), None, "empty wildcard is not a point");
+        assert_eq!(parse_pure_number("backup"), None);
+        assert_eq!(parse_pure_number("9_old"), None, "digits embedded in junk");
+        assert_eq!(parse_pure_number("-3"), None);
+        assert_eq!(
+            parse_pure_number("99999999999999999999999"),
+            None,
+            "u64 overflow is not a point either"
+        );
+    }
+
+    #[test]
+    fn highest_number_wins_not_lexicographic_order() {
+        assert_eq!(
+            best_numbered_match(
+                names(&["BENCH_PR6.json", "BENCH_PR10.json", "BENCH_PR2.json"]),
+                "BENCH_PR",
+                ".json"
+            ),
+            Some((10, "BENCH_PR10.json".to_string()))
+        );
+    }
+
+    #[test]
+    fn junk_shaped_matches_never_outrank_real_points() {
+        // 'BENCH_PRbackup.json' used to parse as point 0 and
+        // 'BENCH_PR9_old.json' as point 9 (digit-scraping): the latter
+        // would beat the real newest point. Both must be skipped now.
+        assert_eq!(
+            best_numbered_match(
+                names(&[
+                    "BENCH_PRbackup.json",
+                    "BENCH_PR9_old.json",
+                    "BENCH_PR6.json",
+                ]),
+                "BENCH_PR",
+                ".json"
+            ),
+            Some((6, "BENCH_PR6.json".to_string()))
+        );
+    }
+
+    #[test]
+    fn only_junk_matches_resolve_to_none() {
+        // With nothing but junk the old code picked an arbitrary file as
+        // "point 0"; now there is no reference and the caller fails loudly.
+        assert_eq!(
+            best_numbered_match(
+                names(&["BENCH_PRbackup.json", "BENCH_PR9_old.json"]),
+                "BENCH_PR",
+                ".json"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn non_matching_names_are_ignored_silently() {
+        assert_eq!(
+            best_numbered_match(
+                names(&["README.md", "BENCH_PR7.txt", "OTHER_PR9.json"]),
+                "BENCH_PR",
+                ".json"
+            ),
+            None
         );
     }
 }

@@ -97,3 +97,44 @@ fn perf_trajectory_runs_and_self_checks() {
     );
     let _ = std::fs::remove_file(&out);
 }
+
+/// With no `--out`/`--point`, `perf_trajectory` derives both by continuing
+/// the trajectory: one past the highest `BENCH_PR<N>.json` in its working
+/// directory. Junk names that match the shape but are not numbered points
+/// (`BENCH_PRbackup.json`, `BENCH_PR9_old.json`) must not confuse the
+/// numbering — they are skipped with a warning on stderr.
+#[test]
+fn perf_trajectory_derives_next_point_from_existing_files() {
+    let exe = env!("CARGO_BIN_EXE_perf_trajectory");
+    let dir = std::env::temp_dir().join(format!("bench_next_point_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    for name in [
+        "BENCH_PR2.json",
+        "BENCH_PR6.json",
+        "BENCH_PRbackup.json",
+        "BENCH_PR9_old.json",
+    ] {
+        std::fs::write(dir.join(name), "{}\n").expect("plant trajectory file");
+    }
+    let output = Command::new(exe)
+        .current_dir(&dir)
+        .args(["--repeat", "1"])
+        .output()
+        .expect("spawn perf_trajectory");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "perf_trajectory failed:\n{stderr}");
+    let json = std::fs::read_to_string(dir.join("BENCH_PR7.json"))
+        .expect("derived default BENCH_PR7.json written (highest point is PR6)");
+    assert!(
+        json.contains("\"point\": \"PR7\""),
+        "derived label:\n{json}"
+    );
+    assert!(json.contains("\"aggregate_steps_per_sec\""));
+    for junk in ["BENCH_PRbackup.json", "BENCH_PR9_old.json"] {
+        assert!(
+            stderr.contains(junk),
+            "junk name {junk} should be warned about on stderr:\n{stderr}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -140,22 +140,36 @@ impl L1Cache {
         entry.dirty = true;
     }
 
-    /// All lines currently carrying the write bit (the resident write set).
-    pub fn write_set(&self) -> Vec<LineAddr> {
+    /// Iterates the lines currently carrying the write bit (the resident
+    /// write set) without allocating, in cache (set-major) order.
+    pub fn write_set_iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.lines
             .iter()
             .filter(|(_, e)| e.write_bit)
             .map(|(l, _)| l)
-            .collect()
     }
 
-    /// All lines currently carrying the read bit (the resident read set).
-    pub fn read_set(&self) -> Vec<LineAddr> {
+    /// Iterates the lines currently carrying the read bit (the resident
+    /// read set) without allocating, in cache (set-major) order.
+    pub fn read_set_iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.lines
             .iter()
             .filter(|(_, e)| e.read_bit)
             .map(|(l, _)| l)
-            .collect()
+    }
+
+    /// All write-set lines as a fresh `Vec`. Test convenience; hot paths
+    /// use [`L1Cache::write_set_iter`].
+    #[cfg(test)]
+    pub fn write_set(&self) -> Vec<LineAddr> {
+        self.write_set_iter().collect()
+    }
+
+    /// All read-set lines as a fresh `Vec`. Test convenience; hot paths
+    /// use [`L1Cache::read_set_iter`].
+    #[cfg(test)]
+    pub fn read_set(&self) -> Vec<LineAddr> {
+        self.read_set_iter().collect()
     }
 
     /// Flash-clears every read bit (commit/abort, Section III-B).
@@ -173,14 +187,24 @@ impl L1Cache {
         }
     }
 
-    /// Flash-invalidates every write-set line (abort), returning the
-    /// invalidated line addresses.
-    pub fn flash_invalidate_write_set(&mut self) -> Vec<LineAddr> {
+    /// Flash-invalidates every write-set line (abort), appending the
+    /// invalidated line addresses to `out` (which is cleared first). The
+    /// allocation-free abort path: engines thread a reusable scratch
+    /// buffer through here instead of materialising a fresh `Vec`.
+    pub fn flash_invalidate_write_set_into(&mut self, out: &mut Vec<LineAddr>) {
+        out.clear();
         self.lines
-            .drain_filter(|_, e| e.write_bit)
-            .into_iter()
-            .map(|(l, _)| l)
-            .collect()
+            .drain_filter_with(|_, e| e.write_bit, |line, _| out.push(line));
+    }
+
+    /// Flash-invalidates every write-set line, returning a fresh `Vec`.
+    /// Test convenience; hot paths use
+    /// [`L1Cache::flash_invalidate_write_set_into`].
+    #[cfg(test)]
+    pub fn flash_invalidate_write_set(&mut self) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        self.flash_invalidate_write_set_into(&mut out);
+        out
     }
 
     /// Number of resident lines.

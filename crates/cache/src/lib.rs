@@ -23,13 +23,14 @@
 //! let line = LineAddr::new(42);
 //! l1.insert(line, L1Entry::new(MesiState::Exclusive, [0; 8]));
 //! l1.entry_mut(line).unwrap().write_bit = true;
-//! assert_eq!(l1.write_set().len(), 1);
+//! assert_eq!(l1.write_set_iter().count(), 1);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod l1;
+pub mod lineset;
 pub mod llc;
 pub mod log_buffer;
 pub mod mesi;
@@ -38,6 +39,7 @@ pub mod set_assoc;
 pub mod signature;
 
 pub use l1::{L1Cache, L1Entry};
+pub use lineset::LineSet;
 pub use llc::{DirectoryEntry, LlcCache};
 pub use log_buffer::LogBuffer;
 pub use mesi::MesiState;

@@ -1,0 +1,311 @@
+//! A flat, sorted set of line addresses for engine-internal shadow state.
+//!
+//! Every HTM-based engine shadows its read/write/overflow sets in software
+//! for conflict checks and statistics. A `BTreeSet<LineAddr>` pays a node
+//! allocation and a pointer chase per membership update — per transactional
+//! load/store, the hottest operation in the simulator. The hardware the
+//! paper describes tracks these sets in *flat* structures (L1 read/write
+//! bits plus a small overflow list), so the software shadow should too.
+//!
+//! [`LineSet`] keeps up to [`INLINE_LINES`] addresses in a sorted inline
+//! array (no allocation at all), spilling to a sorted `Vec` only when a
+//! transaction's footprint exceeds that — rare under the paper's workloads,
+//! where write sets are bounded by the 64-entry log buffer. Membership is
+//! a binary search over a contiguous buffer either way, and `clear`
+//! retains the spill capacity, so a long-running engine reaches a
+//! steady state with zero allocations per transaction.
+//!
+//! **Iteration order is load-bearing:** sets iterate in ascending address
+//! order, exactly like the `BTreeSet<LineAddr>` they replaced. Commit and
+//! abort paths walk these sets to emit log records and flush lines, so the
+//! iteration order leaks into the durable-write schedule and, from there,
+//! into every golden statistic. `crates/cache/tests/flat_structures_property.rs`
+//! pins the equivalence against a `BTreeSet` reference model.
+
+use std::fmt;
+
+use dhtm_types::addr::LineAddr;
+
+/// Number of addresses stored inline before the set spills to the heap.
+///
+/// Matches the paper's 64-entry log buffer: a transaction that stays within
+/// the hardware log's capacity never allocates for its shadow sets either.
+pub const INLINE_LINES: usize = 64;
+
+/// A sorted set of [`LineAddr`]s: inline array up to [`INLINE_LINES`]
+/// entries, heap spill beyond. Drop-in replacement for the engines'
+/// `BTreeSet<LineAddr>` shadow sets with identical (ascending) iteration
+/// order and `insert` semantics, but allocation-free in the common case.
+#[derive(Clone)]
+pub struct LineSet {
+    /// Number of addresses in the set.
+    len: usize,
+    /// Inline storage; `inline[..len]` is sorted ascending while not spilled.
+    inline: [LineAddr; INLINE_LINES],
+    /// Spill storage, sorted ascending; holds *all* elements once spilled.
+    /// Once a set spills it stays spilled until `clear`, which keeps the
+    /// capacity — so the allocation happens at most once per set lifetime.
+    spill: Vec<LineAddr>,
+    /// Whether the live elements are in `spill` rather than `inline`.
+    spilled: bool,
+}
+
+impl LineSet {
+    /// Creates an empty set. Does not allocate.
+    pub fn new() -> Self {
+        LineSet {
+            len: 0,
+            inline: [LineAddr::new(0); INLINE_LINES],
+            spill: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    /// The live elements as a sorted slice.
+    #[inline]
+    fn slice(&self) -> &[LineAddr] {
+        if self.spilled {
+            &self.spill
+        } else {
+            &self.inline[..self.len]
+        }
+    }
+
+    /// Inserts `line`. Returns `true` if the set did not already contain it
+    /// (the `BTreeSet::insert` contract).
+    #[inline]
+    pub fn insert(&mut self, line: LineAddr) -> bool {
+        match self.slice().binary_search(&line) {
+            Ok(_) => false,
+            Err(pos) => {
+                if self.spilled {
+                    self.spill.insert(pos, line);
+                } else if self.len == INLINE_LINES {
+                    // Inline buffer full: migrate everything to the spill
+                    // vec, splicing the new element into sorted position.
+                    self.spill.reserve(INLINE_LINES + 1);
+                    self.spill.extend_from_slice(&self.inline[..pos]);
+                    self.spill.push(line);
+                    self.spill.extend_from_slice(&self.inline[pos..]);
+                    self.spilled = true;
+                } else {
+                    self.inline.copy_within(pos..self.len, pos + 1);
+                    self.inline[pos] = line;
+                }
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes `line`. Returns `true` if it was present.
+    pub fn remove(&mut self, line: LineAddr) -> bool {
+        match self.slice().binary_search(&line) {
+            Err(_) => false,
+            Ok(pos) => {
+                if self.spilled {
+                    self.spill.remove(pos);
+                } else {
+                    self.inline.copy_within(pos + 1..self.len, pos);
+                }
+                self.len -= 1;
+                true
+            }
+        }
+    }
+
+    /// Whether `line` is in the set. O(log n) binary search, no pointer
+    /// chasing.
+    #[inline]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.slice().binary_search(&line).is_ok()
+    }
+
+    /// Number of addresses in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the set. Retains the spill allocation (if any) so a reused
+    /// set never re-allocates.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+        self.spilled = false;
+    }
+
+    /// The smallest address in the set, if any.
+    #[inline]
+    pub fn first(&self) -> Option<LineAddr> {
+        self.slice().first().copied()
+    }
+
+    /// Iterates the addresses in ascending order — the same order as the
+    /// `BTreeSet<LineAddr>` this type replaces. Yields by value
+    /// (`LineAddr` is `Copy`).
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.slice().iter().copied()
+    }
+
+    /// Whether the set has spilled past the inline capacity (diagnostics
+    /// and tests).
+    pub fn is_spilled(&self) -> bool {
+        self.spilled
+    }
+}
+
+impl Default for LineSet {
+    fn default() -> Self {
+        LineSet::new()
+    }
+}
+
+impl fmt::Debug for LineSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.slice()).finish()
+    }
+}
+
+impl PartialEq for LineSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.slice() == other.slice()
+    }
+}
+
+impl Eq for LineSet {}
+
+impl FromIterator<LineAddr> for LineSet {
+    fn from_iter<I: IntoIterator<Item = LineAddr>>(iter: I) -> Self {
+        let mut set = LineSet::new();
+        for line in iter {
+            set.insert(line);
+        }
+        set
+    }
+}
+
+impl Extend<LineAddr> for LineSet {
+    fn extend<I: IntoIterator<Item = LineAddr>>(&mut self, iter: I) {
+        for line in iter {
+            self.insert(line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(raw: u64) -> LineAddr {
+        LineAddr::new(raw)
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = LineSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(l(5)));
+        assert!(s.insert(l(1)));
+        assert!(s.insert(l(3)));
+        assert!(!s.insert(l(3)), "duplicate insert must report existing");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(l(1)) && s.contains(l(3)) && s.contains(l(5)));
+        assert!(!s.contains(l(2)));
+        assert_eq!(s.first(), Some(l(1)));
+        assert!(s.remove(l(3)));
+        assert!(!s.remove(l(3)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![l(1), l(5)]);
+    }
+
+    #[test]
+    fn iterates_in_ascending_order_like_btreeset() {
+        let raws = [9u64, 2, 7, 2, 0, 64, 13, 1 << 40];
+        let mut s = LineSet::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for &r in &raws {
+            assert_eq!(s.insert(l(r)), reference.insert(l(r)));
+        }
+        let got: Vec<_> = s.iter().collect();
+        let want: Vec<_> = reference.iter().copied().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn spills_past_inline_capacity_and_keeps_order() {
+        let mut s = LineSet::new();
+        // Insert in descending order to exercise the shift path, crossing
+        // the inline boundary.
+        for r in (0..(INLINE_LINES as u64 + 8)).rev() {
+            assert!(s.insert(l(r * 3)));
+        }
+        assert!(s.is_spilled());
+        assert_eq!(s.len(), INLINE_LINES + 8);
+        let got: Vec<_> = s.iter().collect();
+        let want: Vec<_> = (0..(INLINE_LINES as u64 + 8)).map(|r| l(r * 3)).collect();
+        assert_eq!(got, want);
+        // The exact boundary element is findable and removable.
+        assert!(s.contains(l(0)));
+        assert!(s.remove(l(0)));
+        assert_eq!(s.first(), Some(l(3)));
+    }
+
+    #[test]
+    fn spill_inserts_land_in_sorted_position() {
+        let mut s = LineSet::new();
+        for r in 0..INLINE_LINES as u64 {
+            s.insert(l(r * 10));
+        }
+        assert!(!s.is_spilled());
+        // The spilling insert itself lands mid-buffer.
+        assert!(s.insert(l(15)));
+        assert!(s.is_spilled());
+        assert_eq!(s.len(), INLINE_LINES + 1);
+        let got: Vec<_> = s.iter().collect();
+        let mut want: Vec<_> = (0..INLINE_LINES as u64).map(|r| l(r * 10)).collect();
+        want.push(l(15));
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clear_retains_spill_capacity() {
+        let mut s = LineSet::new();
+        for r in 0..(INLINE_LINES as u64 * 2) {
+            s.insert(l(r));
+        }
+        assert!(s.is_spilled());
+        let cap = s.spill.capacity();
+        assert!(cap >= INLINE_LINES * 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.is_spilled());
+        assert_eq!(s.spill.capacity(), cap, "clear must keep the allocation");
+        // Refilling to the same size must not grow the vec again.
+        for r in 0..(INLINE_LINES as u64 * 2) {
+            s.insert(l(r));
+        }
+        assert_eq!(s.spill.capacity(), cap);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let mut a = LineSet::new();
+        let mut b = LineSet::new();
+        for r in 0..(INLINE_LINES as u64 + 1) {
+            a.insert(l(r));
+            b.insert(l(INLINE_LINES as u64 - r.min(INLINE_LINES as u64)));
+        }
+        b.insert(l(INLINE_LINES as u64));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, b);
+    }
+}

@@ -64,8 +64,9 @@ impl DirectoryEntry {
         self.sharers.count_ones()
     }
 
-    /// Iterates over the sharer core ids (allocates; prefer
-    /// [`DirectoryEntry::sharers_iter`] on hot paths).
+    /// The sharer core ids as a fresh `Vec`. Test convenience; all
+    /// simulator paths use [`DirectoryEntry::sharers_iter`].
+    #[cfg(test)]
     pub fn sharer_ids(&self) -> Vec<CoreId> {
         self.sharers_iter().collect()
     }
@@ -86,7 +87,7 @@ impl DirectoryEntry {
 
     /// The lowest-numbered sharer, if any (the directory's notion of "the"
     /// owner for forwarding, matching the first element of
-    /// [`DirectoryEntry::sharer_ids`]).
+    /// [`DirectoryEntry::sharers_iter`]).
     pub fn first_sharer(&self) -> Option<CoreId> {
         if self.sharers == 0 {
             None

@@ -104,8 +104,18 @@ impl LogBuffer {
     /// Drains every tracked address (transaction end): the caller logs each
     /// one. Addresses are returned oldest-first.
     pub fn drain(&mut self) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Drains every tracked address into `out` (cleared first), oldest-first
+    /// — the allocation-free form of [`LogBuffer::drain`] for callers with a
+    /// reusable scratch buffer.
+    pub fn drain_into(&mut self, out: &mut Vec<LineAddr>) {
         self.evictions += self.entries.len() as u64;
-        self.entries.drain(..).collect()
+        out.clear();
+        out.extend(self.entries.drain(..));
     }
 
     /// Clears the buffer without logging (transaction abort).

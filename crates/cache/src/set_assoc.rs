@@ -259,12 +259,22 @@ impl<T> SetAssocCache<T> {
 
     /// Removes every line for which the predicate returns `true`, returning
     /// the removed pairs.
-    pub fn drain_filter(
+    pub fn drain_filter(&mut self, pred: impl FnMut(LineAddr, &T) -> bool) -> Vec<(LineAddr, T)> {
+        let mut removed = Vec::new();
+        self.drain_filter_with(pred, |line, entry| removed.push((line, entry)));
+        removed
+    }
+
+    /// Removes every line for which the predicate returns `true`, handing
+    /// each removed pair to `sink` instead of collecting — the
+    /// allocation-free form of [`SetAssocCache::drain_filter`]. Removal
+    /// order (set-major, swap-remove within a set) is identical.
+    pub fn drain_filter_with(
         &mut self,
         mut pred: impl FnMut(LineAddr, &T) -> bool,
-    ) -> Vec<(LineAddr, T)> {
+        mut sink: impl FnMut(LineAddr, T),
+    ) {
         let ways = self.geometry.ways;
-        let mut removed = Vec::new();
         for set_idx in 0..self.set_len.len() {
             let base = set_idx * ways;
             let mut len = self.set_len[set_idx] as usize;
@@ -278,14 +288,13 @@ impl<T> SetAssocCache<T> {
                     }
                     len -= 1;
                     self.len -= 1;
-                    removed.push((slot.line, slot.entry));
+                    sink(slot.line, slot.entry);
                 } else {
                     i += 1;
                 }
             }
             self.set_len[set_idx] = len as u32;
         }
-        removed
     }
 
     /// Removes every resident line.

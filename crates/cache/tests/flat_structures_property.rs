@@ -9,11 +9,19 @@
 //! occupancy, allocation failures — against models written for clarity,
 //! not speed: a plain list of `(line, stamp)` pairs for the cache, a
 //! `HashSet` for the MSHR file.
+//!
+//! PR7 adds [`LineSet`] — the sorted inline-array set that replaced the
+//! engines' `BTreeSet<LineAddr>` shadow sets — pinned against a real
+//! `BTreeSet` reference: every `insert`/`remove` return value, every
+//! `contains`, and (load-bearing for the golden lattice) the *exact
+//! iteration order* after every mutation, across the inline→spill
+//! boundary.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use proptest::prelude::*;
 
+use dhtm_cache::lineset::{LineSet, INLINE_LINES};
 use dhtm_cache::mshr::MshrFile;
 use dhtm_cache::set_assoc::SetAssocCache;
 use dhtm_types::addr::LineAddr;
@@ -198,6 +206,97 @@ fn check_mshr_against_reference(capacity: usize, ops: &[(bool, u64)]) {
     assert_eq!(mshr.peak_occupancy(), peak);
 }
 
+// ---------------------------------------------------------------------------
+// Reference model for LineSet: the BTreeSet it replaced.
+// ---------------------------------------------------------------------------
+
+/// Drives a [`LineSet`] and a `BTreeSet<LineAddr>` through the same op
+/// stream. Op kinds: 0/1 = insert, 2 = remove, 3 = contains/first query
+/// (inserts twice as likely as removes, so the set's equilibrium size over
+/// a 96-line space sits right at the 64-entry inline capacity and streams
+/// keep crossing the spill boundary in both directions). After *every*
+/// mutation the full iteration order is compared — set iteration order
+/// leaks into the engines' log/flush schedule, so "same elements" is not
+/// enough; the order must be bit-identical.
+fn check_lineset_against_btreeset(ops: &[(u8, u64)]) {
+    let mut set = LineSet::new();
+    let mut reference: BTreeSet<LineAddr> = BTreeSet::new();
+    for (i, &(kind, raw)) in ops.iter().enumerate() {
+        let line = LineAddr::new(raw);
+        match kind % 4 {
+            0 | 1 => {
+                assert_eq!(
+                    set.insert(line),
+                    reference.insert(line),
+                    "op {i}: insert({raw}) newly-inserted flag mismatch"
+                );
+            }
+            2 => {
+                assert_eq!(
+                    set.remove(line),
+                    reference.remove(&line),
+                    "op {i}: remove({raw}) mismatch"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    set.contains(line),
+                    reference.contains(&line),
+                    "op {i}: contains({raw}) mismatch"
+                );
+                assert_eq!(
+                    set.first(),
+                    reference.iter().next().copied(),
+                    "op {i}: first() mismatch"
+                );
+            }
+        }
+        assert_eq!(set.len(), reference.len(), "op {i}: len drifted");
+        assert_eq!(set.is_empty(), reference.is_empty());
+        let got: Vec<LineAddr> = set.iter().collect();
+        let want: Vec<LineAddr> = reference.iter().copied().collect();
+        assert_eq!(got, want, "op {i}: iteration order diverged");
+    }
+}
+
+#[test]
+fn lineset_inline_to_spill_boundary_is_seamless() {
+    // March a set across the exact spill threshold and back down, checking
+    // order and membership at every size. Descending inserts force worst-
+    // case shifting; interleaved queries hit both halves of each buffer.
+    let mut set = LineSet::new();
+    let mut reference = BTreeSet::new();
+    let n = INLINE_LINES as u64 + 16;
+    for r in (0..n).rev() {
+        let line = LineAddr::new(r * 7);
+        assert!(set.insert(line) && reference.insert(line));
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            reference.iter().copied().collect::<Vec<_>>(),
+            "order diverged at size {}",
+            set.len()
+        );
+    }
+    assert!(set.is_spilled());
+    // Shrink below the inline capacity again: the set stays spilled (by
+    // design — capacity is retained) but must keep behaving identically.
+    for r in 0..n / 2 {
+        let line = LineAddr::new(r * 7);
+        assert!(set.remove(line) && reference.remove(&line));
+    }
+    assert!(set.is_spilled());
+    assert_eq!(
+        set.iter().collect::<Vec<_>>(),
+        reference.iter().copied().collect::<Vec<_>>()
+    );
+    set.clear();
+    reference.clear();
+    assert!(!set.is_spilled() && set.is_empty());
+    // Reuse after clear: back to the inline path.
+    assert!(set.insert(LineAddr::new(1)));
+    assert_eq!(set.iter().collect::<Vec<_>>(), vec![LineAddr::new(1)]);
+}
+
 proptest! {
     // Fixed case count AND fixed RNG seed: a failure on one machine is the
     // same failure everywhere. Failing case seeds persist in
@@ -219,5 +318,15 @@ proptest! {
     ) {
         let ops: Vec<(bool, u64)> = ops.into_iter().map(|(k, l)| (k == 0, l)).collect();
         check_mshr_against_reference(capacity, &ops);
+    }
+
+    #[test]
+    fn lineset_matches_btreeset_reference_model(
+        // A 96-line address space over up to 600 ops: streams regularly
+        // push the set size past INLINE_LINES (64), so the spill path and
+        // the boundary crossing are exercised, not just the inline array.
+        ops in proptest::collection::vec((0u8..4, 0u64..96), 0..600),
+    ) {
+        check_lineset_against_btreeset(&ops);
     }
 }

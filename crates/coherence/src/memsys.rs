@@ -534,8 +534,8 @@ impl MemorySystem {
 
         let entry = *self.llc.entry(line).expect("line ensured");
         // Every remote holder that must be probed, as a bitmask — the probe
-        // loops below walk it lowest-core-first (the order `sharer_ids`
-        // used to give) without allocating.
+        // loops below walk it lowest-core-first (the `sharers_iter` order)
+        // without allocating.
         let remote_mask = {
             let mut m = entry.sharers;
             if core.get() < 64 {

@@ -63,6 +63,12 @@ pub struct DhtmEngine {
     /// (including write sets the LLC geometry cannot hold).
     fallback_values: Vec<std::collections::BTreeMap<Address, u64>>,
     fallback_commits: u64,
+    /// Reusable line buffer for the commit/abort walks (log-buffer drain,
+    /// resident write-back, overflow-list flush, abort invalidation): these
+    /// loops mutate the machine while walking a snapshot of engine or cache
+    /// state, so they stage the lines here instead of collecting a fresh
+    /// `Vec` per transaction.
+    scratch_lines: Vec<LineAddr>,
 }
 
 impl DhtmEngine {
@@ -85,6 +91,7 @@ impl DhtmEngine {
             in_fallback: Vec::new(),
             fallback_values: Vec::new(),
             fallback_commits: 0,
+            scratch_lines: Vec::new(),
         }
     }
 
@@ -168,9 +175,12 @@ impl DhtmEngine {
             // values; discard them so neither later reads nor later log
             // records can observe them.
             let values = std::mem::take(&mut self.fallback_values[core.get()]);
-            let mut lines: Vec<LineAddr> = values.keys().map(|a| a.line()).collect();
-            lines.dedup();
-            for line in lines {
+            let mut prev: Option<LineAddr> = None;
+            for line in values.keys().map(|a| a.line()) {
+                if prev == Some(line) {
+                    continue;
+                }
+                prev = Some(line);
                 machine.mem.invalidate_l1_line(core, line);
             }
         }
@@ -189,19 +199,21 @@ impl DhtmEngine {
         machine.mem.domain_mut().reclaim_log(thread);
 
         // Invalidate the resident write set.
-        let invalidated = machine.mem.l1_mut(core).flash_invalidate_write_set();
-        for line in &invalidated {
-            machine.mem.notify_clean_eviction(core, *line);
+        machine
+            .mem
+            .l1_mut(core)
+            .flash_invalidate_write_set_into(&mut self.scratch_lines);
+        for &line in &self.scratch_lines {
+            machine.mem.notify_clean_eviction(core, line);
         }
         machine.mem.l1_mut(core).flash_clear_read_bits();
 
         // Abort-completion phase: invalidate the overflowed lines in the LLC
         // (Figure 4h). This runs in the background; only the next transaction
-        // on this core has to wait for it.
-        let overflowed: Vec<LineAddr> =
-            self.states[core.get()].overflowed.iter().copied().collect();
+        // on this core has to wait for it. Ascending line order, as the
+        // shadow set always iterated.
         let mut completion = at;
-        for line in overflowed {
+        for line in self.states[core.get()].overflowed.iter() {
             machine.mem.invalidate_llc_line(line);
             completion += machine.mem.latency().llc_hit;
         }
@@ -495,9 +507,11 @@ impl TxEngine for DhtmEngine {
         let tx = self.states[core.get()].tx;
 
         // (1) Drain the log buffer: every still-buffered line gets its redo
-        //     record now (Figure 4e).
-        let pending: Vec<LineAddr> = self.loggers[core.get()].drain();
-        for line in pending {
+        //     record now (Figure 4e). Staged in the scratch buffer because
+        //     `log_line` needs the whole engine mutably.
+        self.loggers[core.get()].drain_into(&mut self.scratch_lines);
+        for i in 0..self.scratch_lines.len() {
+            let line = self.scratch_lines[i];
             if self.log_line(machine, core, line, now).is_none() {
                 return self.do_abort(machine, core, now, AbortReason::LogOverflow);
             }
@@ -527,8 +541,11 @@ impl TxEngine for DhtmEngine {
         //     complete record. This happens off the critical path — only the
         //     next transaction on this core waits for `completion`.
         let mut completion = commit_at;
-        let resident: Vec<LineAddr> = machine.mem.l1(core).write_set();
-        for line in resident {
+        self.scratch_lines.clear();
+        self.scratch_lines
+            .extend(machine.mem.l1(core).write_set_iter());
+        for i in 0..self.scratch_lines.len() {
+            let line = self.scratch_lines[i];
             if let Some(done) = machine
                 .mem
                 .l1_writeback_line_to_memory(core, line, commit_at)
@@ -539,8 +556,16 @@ impl TxEngine for DhtmEngine {
                 entry.write_bit = false;
             }
         }
-        let overflowed: Vec<LineAddr> = machine.mem.domain().overflow_list(thread).lines_for(tx);
-        for line in overflowed {
+        self.scratch_lines.clear();
+        self.scratch_lines.extend(
+            machine
+                .mem
+                .domain()
+                .overflow_list(thread)
+                .lines_for_iter(tx),
+        );
+        for i in 0..self.scratch_lines.len() {
+            let line = self.scratch_lines[i];
             // A line that overflowed and was later re-read is resident in the
             // L1 again; it was already written back (and is still owned by
             // this core), so the LLC write-back must not clear its directory
@@ -557,9 +582,12 @@ impl TxEngine for DhtmEngine {
             // in-place image is composed from the persistent copy overlaid
             // with the transaction's stores.
             let values = std::mem::take(&mut self.fallback_values[core.get()]);
-            let mut lines: Vec<LineAddr> = values.keys().map(|a| a.line()).collect();
-            lines.dedup();
-            for line in lines {
+            let mut prev: Option<LineAddr> = None;
+            for line in values.keys().map(|a| a.line()) {
+                if prev == Some(line) {
+                    continue;
+                }
+                prev = Some(line);
                 let done = machine
                     .mem
                     .persist_composed_line(core, line, &values, commit_at);
@@ -712,7 +740,7 @@ mod tests {
         let st = e.state(c(0));
         assert_eq!(st.write_set.len(), 3);
         assert_eq!(st.overflowed.len(), 1);
-        let overflowed_line = *st.overflowed.iter().next().unwrap();
+        let overflowed_line = st.overflowed.first().unwrap();
         // The overflow list in persistent memory has the address, and the
         // directory still shows core 0 as owner (sticky state).
         let thread = ThreadId::new(0);
@@ -750,7 +778,7 @@ mod tests {
                 100 + i,
             );
         }
-        let overflowed_line = *e.state(c(0)).overflowed.iter().next().unwrap();
+        let overflowed_line = e.state(c(0)).overflowed.first().unwrap();
         // Another core writes the overflowed line: under first-writer-wins the
         // requester aborts even though the line is no longer in core 0's L1.
         e.begin(&mut m, c(1), &[], 0);
@@ -784,7 +812,7 @@ mod tests {
                 100 + i,
             );
         }
-        let overflowed_line = *e.state(c(0)).overflowed.iter().next().unwrap();
+        let overflowed_line = e.state(c(0)).overflowed.first().unwrap();
         assert!(m.mem.llc().entry(overflowed_line).unwrap().dirty);
         // Force an abort through the doomed marker (as a conflict would).
         e.states[0].doomed = Some(AbortReason::Conflict);
@@ -819,7 +847,7 @@ mod tests {
                 100 + i,
             );
         }
-        let overflowed_line = *e.state(c(0)).overflowed.iter().next().unwrap();
+        let overflowed_line = e.state(c(0)).overflowed.first().unwrap();
         // Re-read the overflowed line: the value written earlier must be
         // visible and the line must re-acquire its write bit.
         let out = e.read(&mut m, c(0), overflowed_line.base(), 1000);

@@ -59,10 +59,11 @@ impl RedoLogger {
         self.buffer.remove(line)
     }
 
-    /// Drains the buffer at transaction end; every returned line still needs
-    /// a redo record.
-    pub fn drain(&mut self) -> Vec<LineAddr> {
-        self.buffer.drain()
+    /// Drains the buffer at transaction end into `out` (cleared first);
+    /// every drained line still needs a redo record. Allocation-free: the
+    /// engine threads a reusable scratch buffer through here.
+    pub fn drain_into(&mut self, out: &mut Vec<LineAddr>) {
+        self.buffer.drain_into(out);
     }
 
     /// Whether `line` currently has a pending (unlogged) record in the
@@ -125,7 +126,9 @@ mod tests {
                 writes += 1;
             }
         }
-        writes += l.drain().len();
+        let mut drained = Vec::new();
+        l.drain_into(&mut drained);
+        writes += drained.len();
         assert_eq!(writes, 2);
         assert_eq!(l.coalesced_stores(), 3);
     }
@@ -135,7 +138,9 @@ mod tests {
         let mut l = RedoLogger::new(8, true);
         assert!(l.word_granular());
         assert_eq!(l.on_store(LineAddr::new(1)), None);
-        assert!(l.drain().is_empty(), "nothing is buffered");
+        let mut drained = vec![LineAddr::new(1)];
+        l.drain_into(&mut drained);
+        assert!(drained.is_empty(), "nothing is buffered");
     }
 
     #[test]

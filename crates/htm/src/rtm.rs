@@ -37,6 +37,9 @@ pub struct RtmEngine {
     fallback_lock: LockTable,
     in_fallback: Vec<bool>,
     fallback_commits: u64,
+    /// Reusable buffer for the abort path's write-set flash-invalidate, so
+    /// aborting never allocates.
+    scratch_lines: Vec<LineAddr>,
 }
 
 impl RtmEngine {
@@ -50,6 +53,7 @@ impl RtmEngine {
             fallback_lock: LockTable::new(),
             in_fallback: Vec::new(),
             fallback_commits: 0,
+            scratch_lines: Vec::new(),
         }
     }
 
@@ -97,9 +101,12 @@ impl RtmEngine {
             self.fallback_lock.release_all(core);
             self.in_fallback[core.get()] = false;
         }
-        let invalidated = machine.mem.l1_mut(core).flash_invalidate_write_set();
-        for line in &invalidated {
-            machine.mem.notify_clean_eviction(core, *line);
+        machine
+            .mem
+            .l1_mut(core)
+            .flash_invalidate_write_set_into(&mut self.scratch_lines);
+        for &line in &self.scratch_lines {
+            machine.mem.notify_clean_eviction(core, line);
         }
         machine.mem.l1_mut(core).flash_clear_read_bits();
         self.states[core.get()].reset_after_abort();

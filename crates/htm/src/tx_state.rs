@@ -1,7 +1,6 @@
 //! Per-core hardware transaction state.
 
-use std::collections::BTreeSet;
-
+use dhtm_cache::lineset::LineSet;
 use dhtm_cache::signature::ReadSignature;
 use dhtm_types::addr::LineAddr;
 use dhtm_types::ids::TxId;
@@ -40,12 +39,14 @@ pub struct HtmCoreState {
     pub doomed: Option<AbortReason>,
     /// Shadow copy of the write-set line addresses. Mirrors the union of the
     /// L1 write bits and (for designs with overflow support) the overflow
-    /// list; kept here for conflict checks and statistics.
-    pub write_set: BTreeSet<LineAddr>,
+    /// list; kept here for conflict checks and statistics. A flat sorted
+    /// [`LineSet`]: membership checks run per transactional load/store, so
+    /// this must not allocate per insert.
+    pub write_set: LineSet,
     /// Shadow copy of the read-set line addresses (statistics only).
-    pub read_set: BTreeSet<LineAddr>,
+    pub read_set: LineSet,
     /// Lines that overflowed from the L1 while in the write set.
-    pub overflowed: BTreeSet<LineAddr>,
+    pub overflowed: LineSet,
     /// Cycle at which the previous transaction's completion phase ends; a new
     /// transaction cannot begin earlier.
     pub next_begin_at: u64,
@@ -71,9 +72,9 @@ impl HtmCoreState {
             tx: TxId::new(0),
             signature: ReadSignature::new(signature_bits),
             doomed: None,
-            write_set: BTreeSet::new(),
-            read_set: BTreeSet::new(),
-            overflowed: BTreeSet::new(),
+            write_set: LineSet::new(),
+            read_set: LineSet::new(),
+            overflowed: LineSet::new(),
             next_begin_at: 0,
             loads: 0,
             stores: 0,
@@ -102,13 +103,13 @@ impl HtmCoreState {
     /// Whether the line is in the transaction's write set (resident or
     /// overflowed).
     pub fn in_write_set(&self, line: LineAddr) -> bool {
-        self.write_set.contains(&line)
+        self.write_set.contains(line)
     }
 
     /// Whether the line is in the transaction's read set (resident read bit
     /// or overflow signature — the signature may report false positives).
     pub fn in_read_set(&self, line: LineAddr) -> bool {
-        self.read_set.contains(&line) || self.signature.maybe_contains(line)
+        self.read_set.contains(line) || self.signature.maybe_contains(line)
     }
 
     /// Records a transactional load.

@@ -86,11 +86,16 @@ impl OverflowList {
     /// Returns the overflowed lines recorded for transaction `tx`, in the
     /// order they overflowed.
     pub fn lines_for(&self, tx: TxId) -> Vec<LineAddr> {
+        self.lines_for_iter(tx).collect()
+    }
+
+    /// Iterates the overflowed lines recorded for transaction `tx` in the
+    /// order they overflowed, without allocating.
+    pub fn lines_for_iter(&self, tx: TxId) -> impl Iterator<Item = LineAddr> + '_ {
         self.entries
             .iter()
-            .filter(|&&(t, _)| t == tx)
+            .filter(move |&&(t, _)| t == tx)
             .map(|&(_, l)| l)
-            .collect()
     }
 
     /// Whether `line` is recorded as overflowed for transaction `tx`.

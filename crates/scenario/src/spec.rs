@@ -300,9 +300,8 @@ impl fmt::Display for SpecError {
                 f,
                 "unknown engine '{id}' (not in the registry; registered: {})",
                 registry::global_snapshot()
-                    .ids()
-                    .iter()
-                    .map(|i| i.as_str().to_string())
+                    .ids_iter()
+                    .map(EngineId::as_str)
                     .collect::<Vec<_>>()
                     .join(", ")
             ),

@@ -35,7 +35,7 @@ fn run(commit: bool) {
     let state = engine.state(core);
     println!("write set:      {} lines", state.write_set.len());
     println!("overflowed:     {} line(s)", state.overflowed.len());
-    let overflowed = *state.overflowed.iter().next().expect("one line overflowed");
+    let overflowed = state.overflowed.first().expect("one line overflowed");
     let dir = machine
         .mem
         .llc()

@@ -38,7 +38,7 @@ fn commit_path_writes_everything_in_place_and_cleans_up() {
     // Mid-transaction durable state: the overflow list names the overflowed
     // line; nothing is in place yet.
     assert_eq!(engine.state(core).overflowed.len(), 1);
-    let overflowed = *engine.state(core).overflowed.iter().next().unwrap();
+    let overflowed = engine.state(core).overflowed.first().unwrap();
     assert!(machine
         .mem
         .domain()
@@ -88,7 +88,7 @@ fn abort_path_discards_speculative_state_everywhere() {
             .write_word(Address::new(0x40_000 + i * 16 * 64), 7_000 + i);
     }
     let addrs = overflowing_transaction(&mut engine, &mut machine, core, 0x40_000);
-    let overflowed = *engine.state(core).overflowed.iter().next().unwrap();
+    let overflowed = engine.state(core).overflowed.first().unwrap();
 
     // A rival write dooms the transaction (requester wins).
     engine.begin(&mut machine, rival, &[], 5_000);
