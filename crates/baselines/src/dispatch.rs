@@ -143,6 +143,11 @@ impl TxEngine for EngineDispatch {
     fn fallback_commits(&self) -> u64 {
         dispatch!(self, e => e.fallback_commits())
     }
+
+    #[inline]
+    fn probes_into(&self, reg: &mut dhtm_obs::ProbeRegistry) {
+        dispatch!(self, e => e.probes_into(reg))
+    }
 }
 
 #[cfg(test)]

@@ -227,6 +227,11 @@ impl L1Cache {
         self.misses
     }
 
+    /// Capacity evictions the backing array has performed since construction.
+    pub fn evictions(&self) -> u64 {
+        self.lines.evictions()
+    }
+
     /// Invalidate every line (e.g. between independent simulation runs).
     pub fn clear(&mut self) {
         self.lines.clear();

@@ -209,6 +209,11 @@ impl LlcCache {
         self.misses
     }
 
+    /// Capacity evictions the backing array has performed since construction.
+    pub fn evictions(&self) -> u64 {
+        self.lines.evictions()
+    }
+
     /// Iterates over resident `(line, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &DirectoryEntry)> {
         self.lines.iter()

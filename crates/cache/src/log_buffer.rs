@@ -15,6 +15,7 @@
 
 use std::collections::VecDeque;
 
+use dhtm_obs::PowHistogram;
 use dhtm_types::addr::LineAddr;
 
 /// A fully-associative FIFO buffer of cache-line addresses with pending log
@@ -26,6 +27,8 @@ pub struct LogBuffer {
     inserts: u64,
     coalesced_hits: u64,
     evictions: u64,
+    peak_occupancy: usize,
+    drain_sizes: PowHistogram,
 }
 
 impl LogBuffer {
@@ -43,6 +46,8 @@ impl LogBuffer {
             inserts: 0,
             coalesced_hits: 0,
             evictions: 0,
+            peak_occupancy: 0,
+            drain_sizes: PowHistogram::new(),
         }
     }
 
@@ -85,6 +90,7 @@ impl LogBuffer {
             None
         };
         self.entries.push_back(line);
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         evicted
     }
 
@@ -114,6 +120,7 @@ impl LogBuffer {
     /// reusable scratch buffer.
     pub fn drain_into(&mut self, out: &mut Vec<LineAddr>) {
         self.evictions += self.entries.len() as u64;
+        self.drain_sizes.record(self.entries.len() as u64);
         out.clear();
         out.extend(self.entries.drain(..));
     }
@@ -137,6 +144,30 @@ impl LogBuffer {
     /// drain at transaction end).
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// The occupancy high-water mark: the most addresses ever tracked at
+    /// once (≤ capacity).
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Histogram of drain sizes: how many pending addresses each
+    /// transaction-end drain flushed at once.
+    pub fn drain_sizes(&self) -> &PowHistogram {
+        &self.drain_sizes
+    }
+
+    /// Registers the buffer's probes under `scope` (e.g. `core3/log_buffer`).
+    pub fn probes_into(&self, scope: &str, reg: &mut dhtm_obs::ProbeRegistry) {
+        reg.add(&format!("{scope}/inserts"), self.inserts);
+        reg.add(&format!("{scope}/coalesced_hits"), self.coalesced_hits);
+        reg.add(&format!("{scope}/evictions"), self.evictions);
+        reg.set(
+            &format!("{scope}/peak_occupancy"),
+            self.peak_occupancy as u64,
+        );
+        reg.merge_histogram(&format!("{scope}/drain_sizes"), &self.drain_sizes);
     }
 }
 
@@ -328,6 +359,33 @@ mod tests {
                 LineAddr::new(6)
             ]
         );
+    }
+
+    #[test]
+    fn peak_occupancy_and_drain_sizes_are_tracked() {
+        let mut b = LogBuffer::new(8);
+        for i in 0..5u64 {
+            b.record_store(LineAddr::new(i));
+        }
+        assert_eq!(b.peak_occupancy(), 5);
+        b.drain_into(&mut Vec::new());
+        // A second, smaller transaction does not move the high-water mark.
+        b.record_store(LineAddr::new(9));
+        b.drain_into(&mut Vec::new());
+        assert_eq!(b.peak_occupancy(), 5);
+        assert_eq!(b.drain_sizes().count(), 2);
+        assert_eq!(b.drain_sizes().sum(), 6);
+        assert_eq!(b.drain_sizes().max(), 5);
+        // Aborts (clear) record no drain.
+        b.record_store(LineAddr::new(11));
+        b.clear();
+        assert_eq!(b.drain_sizes().count(), 2);
+
+        let mut reg = dhtm_obs::ProbeRegistry::new();
+        b.probes_into("core0/log_buffer", &mut reg);
+        assert_eq!(reg.counter("core0/log_buffer/peak_occupancy"), 5);
+        assert_eq!(reg.counter("core0/log_buffer/inserts"), 7);
+        assert!(reg.get("core0/log_buffer/drain_sizes").is_some());
     }
 
     #[test]

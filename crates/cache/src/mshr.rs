@@ -17,6 +17,8 @@ pub struct MshrFile {
     /// Outstanding miss tags; allocated once to `capacity`, never grows.
     outstanding: Vec<LineAddr>,
     allocation_failures: u64,
+    allocations: u64,
+    merges: u64,
     peak: usize,
 }
 
@@ -32,6 +34,8 @@ impl MshrFile {
             capacity,
             outstanding: Vec::with_capacity(capacity),
             allocation_failures: 0,
+            allocations: 0,
+            merges: 0,
             peak: 0,
         }
     }
@@ -53,6 +57,7 @@ impl MshrFile {
     /// `false` if all registers are busy; the requester must stall and retry.
     pub fn allocate(&mut self, line: LineAddr) -> bool {
         if self.outstanding.contains(&line) {
+            self.merges += 1;
             return true;
         }
         if self.outstanding.len() >= self.capacity {
@@ -60,6 +65,7 @@ impl MshrFile {
             return false;
         }
         self.outstanding.push(line);
+        self.allocations += 1;
         self.peak = self.peak.max(self.outstanding.len());
         true
     }
@@ -76,9 +82,30 @@ impl MshrFile {
         self.allocation_failures
     }
 
+    /// Number of fresh registers allocated over the file's lifetime.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of secondary misses merged into an already-outstanding MSHR.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
     /// Highest simultaneous occupancy observed.
     pub fn peak_occupancy(&self) -> usize {
         self.peak
+    }
+
+    /// Registers the file's lifetime counters under `{scope}/mshr/...`.
+    pub fn probes_into(&self, scope: &str, reg: &mut dhtm_obs::ProbeRegistry) {
+        reg.add(&format!("{scope}/mshr/allocations"), self.allocations);
+        reg.add(&format!("{scope}/mshr/merges"), self.merges);
+        reg.add(
+            &format!("{scope}/mshr/allocation_failures"),
+            self.allocation_failures,
+        );
+        reg.set(&format!("{scope}/mshr/peak_occupancy"), self.peak as u64);
     }
 
     /// Clears all outstanding entries.
@@ -121,6 +148,22 @@ mod tests {
         m.release(LineAddr::new(1));
         assert_eq!(m.peak_occupancy(), 3);
         assert_eq!(m.outstanding(), 1);
+    }
+
+    #[test]
+    fn allocation_and_merge_counters() {
+        let mut m = MshrFile::new(2);
+        m.allocate(LineAddr::new(1));
+        m.allocate(LineAddr::new(1)); // merge
+        m.allocate(LineAddr::new(2));
+        m.allocate(LineAddr::new(3)); // failure
+        assert_eq!(m.allocations(), 2);
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.allocation_failures(), 1);
+        let mut reg = dhtm_obs::ProbeRegistry::new();
+        m.probes_into("core0", &mut reg);
+        assert_eq!(reg.counter("core0/mshr/allocations"), 2);
+        assert_eq!(reg.counter("core0/mshr/peak_occupancy"), 2);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub struct SetAssocCache<T> {
     set_mask: u64,
     len: usize,
     use_clock: u64,
+    evictions: u64,
 }
 
 impl<T> SetAssocCache<T> {
@@ -70,6 +71,7 @@ impl<T> SetAssocCache<T> {
             set_mask: num_sets as u64 - 1,
             len: 0,
             use_clock: 0,
+            evictions: 0,
         }
     }
 
@@ -86,6 +88,12 @@ impl<T> SetAssocCache<T> {
     /// Whether the cache holds no lines.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Number of capacity evictions `insert` has performed over the cache's
+    /// lifetime (in-place replacements and explicit removals don't count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
@@ -185,6 +193,7 @@ impl<T> SetAssocCache<T> {
             }
             len -= 1;
             self.len -= 1;
+            self.evictions += 1;
             victim = Some((slot.line, slot.entry));
         }
 
@@ -367,6 +376,23 @@ mod tests {
         assert!(c.insert(LineAddr::new(0), 99).is_none());
         assert_eq!(*c.peek(LineAddr::new(0)).unwrap(), 99);
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn evictions_counter_tracks_capacity_victims_only() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        assert_eq!(c.evictions(), 0);
+        c.insert(LineAddr::new(8), 8); // set 0 full: evicts
+        assert_eq!(c.evictions(), 1);
+        c.remove(LineAddr::new(8)); // explicit removal: not an eviction
+        assert_eq!(c.evictions(), 1);
+        c.insert(LineAddr::new(8), 8); // room again: no eviction
+        assert_eq!(c.evictions(), 1);
+        c.insert(LineAddr::new(12), 12);
+        assert_eq!(c.evictions(), 2);
     }
 
     #[test]

@@ -116,6 +116,13 @@ pub struct MemStats {
     pub conflicts: u64,
     /// Lines back-invalidated from L1s because of LLC evictions.
     pub back_invalidations: u64,
+    /// Times the directory walked a non-empty remote-sharer set to deliver
+    /// probes (one walk may deliver several probes; see `probes`).
+    pub sharer_walks: u64,
+    /// L1 copies invalidated at the directory's behest: store-path
+    /// invalidation probes, LLC back-invalidations and abort-path
+    /// invalidations.
+    pub dir_invalidations: u64,
 }
 
 /// The complete simulated memory hierarchy.
@@ -313,6 +320,7 @@ impl MemorySystem {
         for core in 0..self.l1s.len() {
             if entry.is_sharer(CoreId::new(core)) && self.l1s[core].invalidate(line).is_some() {
                 self.stats.back_invalidations += 1;
+                self.stats.dir_invalidations += 1;
             }
         }
         if entry.dirty {
@@ -414,6 +422,7 @@ impl MemorySystem {
                     let owner = entry.first_sharer().expect("owned line has an owner");
                     let probe = self.probe_info(core, owner, line, ProbeKind::FwdGetS);
                     self.stats.probes += 1;
+                    self.stats.sharer_walks += 1;
                     let decision = arbiter.decide(&probe);
                     match decision {
                         ProbeDecision::Nack => {
@@ -555,6 +564,9 @@ impl MemorySystem {
         let mut abort_holder_mask = 0u64;
         let mut saw_nack = false;
         let mut saw_abort_requester = false;
+        if remote_mask != 0 {
+            self.stats.sharer_walks += 1;
+        }
         let mut mask = remote_mask;
         while mask != 0 {
             let holder = CoreId::new(mask.trailing_zeros() as usize);
@@ -597,6 +609,7 @@ impl MemorySystem {
                 holders_to_abort.push(holder);
             }
             if let Some(holder_entry) = self.l1s[holder.get()].invalidate(line) {
+                self.stats.dir_invalidations += 1;
                 // A dirty remote copy supplies the latest data — unless the
                 // holder is being aborted: its dirty copy is speculative
                 // state the abort discards, and forwarding it would let
@@ -789,9 +802,36 @@ impl MemorySystem {
     pub fn invalidate_l1_line(&mut self, core: CoreId, line: LineAddr) -> Option<L1Entry> {
         let removed = self.l1s[core.get()].invalidate(line);
         if removed.is_some() {
+            self.stats.dir_invalidations += 1;
             self.notify_clean_eviction(core, line);
         }
         removed
+    }
+
+    /// Registers the whole hierarchy's counters into `reg`: per-core L1s
+    /// (`coreN/l1/...`), the LLC, the directory/coherence counters, the
+    /// persistence domain and the memory channel (whose busy/idle split needs
+    /// the run's end-of-run `horizon` cycle).
+    pub fn probes_into(&self, horizon: u64, reg: &mut dhtm_obs::ProbeRegistry) {
+        for (i, l1) in self.l1s.iter().enumerate() {
+            reg.add(&format!("core{i}/l1/hits"), l1.hits());
+            reg.add(&format!("core{i}/l1/misses"), l1.misses());
+            reg.add(&format!("core{i}/l1/evictions"), l1.evictions());
+        }
+        reg.add("llc/hits", self.llc.hits());
+        reg.add("llc/misses", self.llc.misses());
+        reg.add("llc/evictions", self.llc.evictions());
+        reg.add("dir/probes", self.stats.probes);
+        reg.add("dir/conflicts", self.stats.conflicts);
+        reg.add("dir/sharer_walks", self.stats.sharer_walks);
+        reg.add("dir/invalidations", self.stats.dir_invalidations);
+        reg.add("dir/back_invalidations", self.stats.back_invalidations);
+        reg.add("mem/nvm_line_reads", self.stats.nvm_line_reads);
+        reg.add("mem/nvm_line_writes", self.stats.nvm_line_writes);
+        reg.add("mem/log_bytes", self.stats.log_bytes);
+        reg.add("mem/data_writeback_bytes", self.stats.data_writeback_bytes);
+        self.domain.probes_into(reg);
+        self.channel.probes_into(horizon, reg);
     }
 }
 
@@ -807,6 +847,26 @@ mod tests {
 
     fn c(i: usize) -> CoreId {
         CoreId::new(i)
+    }
+
+    #[test]
+    fn probes_cover_every_hierarchy_level() {
+        let mut m = memsys();
+        let mut arb = NoConflicts;
+        let line = LineAddr::new(100);
+        // Core 1 reads the line, then core 0 writes it: the store walks the
+        // remote sharer set and invalidates core 1's copy.
+        m.load(c(1), line, 0, &mut arb);
+        m.store(c(0), line, 10, &mut arb);
+        let mut reg = dhtm_obs::ProbeRegistry::new();
+        m.probes_into(1000, &mut reg);
+        assert_eq!(reg.counter("core1/l1/misses"), 1);
+        assert_eq!(reg.counter("dir/sharer_walks"), 1);
+        assert_eq!(reg.counter("dir/invalidations"), 1);
+        assert_eq!(reg.counter("dir/probes"), m.stats().probes);
+        assert_eq!(reg.counter("mem/nvm_line_reads"), 1);
+        assert!(reg.get("channel/idle_cycles").is_some());
+        assert!(reg.get("domain/mutations").is_some());
     }
 
     #[test]

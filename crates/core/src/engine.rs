@@ -69,6 +69,10 @@ pub struct DhtmEngine {
     /// state, so they stage the lines here instead of collecting a fresh
     /// `Vec` per transaction.
     scratch_lines: Vec<LineAddr>,
+    /// Cycles each successful commit spent waiting at the commit point for
+    /// its issued log writes to become durable (Figure 4e→4f gap). Boxed so
+    /// the bucket array does not bloat every `EngineDispatch` variant.
+    commit_persist_waits: Box<dhtm_obs::PowHistogram>,
 }
 
 impl DhtmEngine {
@@ -92,6 +96,7 @@ impl DhtmEngine {
             fallback_values: Vec::new(),
             fallback_commits: 0,
             scratch_lines: Vec::new(),
+            commit_persist_waits: Box::default(),
         }
     }
 
@@ -530,6 +535,8 @@ impl TxEngine for DhtmEngine {
         } else {
             (now + TX_BOOKKEEPING).max(log_durable)
         };
+        self.commit_persist_waits
+            .record(commit_at - (now + TX_BOOKKEEPING));
 
         // Read bits and the overflow signature are cleared at commit.
         machine.mem.l1_mut(core).flash_clear_read_bits();
@@ -623,6 +630,14 @@ impl TxEngine for DhtmEngine {
 
     fn fallback_commits(&self) -> u64 {
         self.fallback_commits
+    }
+
+    fn probes_into(&self, reg: &mut dhtm_obs::ProbeRegistry) {
+        for (i, logger) in self.loggers.iter().enumerate() {
+            logger.probes_into(&format!("core{i}/log_buffer"), reg);
+        }
+        reg.add("engine/fallback_commits", self.fallback_commits);
+        reg.merge_histogram("engine/commit_persist_waits", &self.commit_persist_waits);
     }
 }
 

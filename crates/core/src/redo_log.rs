@@ -107,6 +107,12 @@ impl RedoLogger {
     pub fn coalesced_stores(&self) -> u64 {
         self.buffer.coalesced_hits()
     }
+
+    /// Registers the underlying log buffer's lifetime probes under `scope`
+    /// (e.g. `core3/log_buffer`).
+    pub fn probes_into(&self, scope: &str, reg: &mut dhtm_obs::ProbeRegistry) {
+        self.buffer.probes_into(scope, reg);
+    }
 }
 
 #[cfg(test)]

@@ -5,19 +5,24 @@
 //! ```text
 //! dhtm_experiments [--experiment NAME|all] [--spec FILE...] [--jobs N]
 //!                  [--format table|json|csv] [--out PATH]
+//!                  [--trace out.ndjson] [--profile]
 //! ```
 //!
 //! With `--experiment all` (the default) the full 8-experiment paper suite
 //! plus the scaling sweep runs; `--format json --out results.json` dumps
 //! every simulation row for archival (the CI quick-mode artifact). With
 //! `--spec examples/specs/*.toml` each listed spec file is validated and
-//! executed instead (the typed scenario API's file front-end).
+//! executed instead (the typed scenario API's file front-end). `--trace`
+//! streams every matrix cell's NDJSON event trace (schema `dhtm-trace-v1`)
+//! to a file and `--profile` prints a summed component-stat table; both run
+//! the identical simulations — instrumentation never perturbs a run.
 
 use dhtm_harness::cli::HarnessOpts;
-use dhtm_harness::experiments::{by_name, run_specs, ExperimentResult, ALL};
+use dhtm_harness::experiments::{by_name, prepare_trace, run_specs, ExperimentResult, ALL};
 
 fn main() {
     let opts = HarnessOpts::parse_env();
+    prepare_trace(&opts);
     if !opts.specs.is_empty() {
         if opts.experiment.is_some() {
             eprintln!("--spec and --experiment are mutually exclusive");

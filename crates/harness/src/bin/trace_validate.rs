@@ -1,0 +1,60 @@
+//! NDJSON trace validator: the CI gate behind `--trace`.
+//!
+//! ```text
+//! trace_validate TRACE.ndjson [MORE.ndjson ...]
+//! ```
+//!
+//! Every line of every file must parse as a flat JSON object and satisfy
+//! the `dhtm-trace-v1` schema ([`dhtm_obs::validate_line`]): the right
+//! `schema` tag, a non-empty `kind` and `cell`, a `cycle`, and only u64
+//! payload fields. Prints a per-file summary (line count, event kinds) and
+//! exits non-zero on the first malformed file, naming the offending line.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use dhtm_obs::{event_from_line, TRACE_SCHEMA};
+
+fn validate_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let event =
+            event_from_line(line).map_err(|e| format!("{path}:{}: {e}\n  {line}", i + 1))?;
+        *kinds.entry(event.kind).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return Err(format!(
+            "{path}: no trace events (empty trace is a failure)"
+        ));
+    }
+    let summary: Vec<String> = kinds
+        .iter()
+        .map(|(kind, count)| format!("{kind}={count}"))
+        .collect();
+    println!(
+        "{path}: {total} events valid against {TRACE_SCHEMA} ({})",
+        summary.join(", ")
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_validate TRACE.ndjson [MORE.ndjson ...]");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        if let Err(msg) = validate_file(path) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -29,6 +29,10 @@ pub struct HarnessOpts {
     /// non-flag argument, so shell globs like `examples/specs/*.toml`
     /// expand naturally).
     pub specs: Vec<PathBuf>,
+    /// Where to write the NDJSON event trace (tracing off when absent).
+    pub trace: Option<PathBuf>,
+    /// Render an end-of-run component-stat profile table.
+    pub profile: bool,
 }
 
 impl Default for HarnessOpts {
@@ -41,6 +45,8 @@ impl Default for HarnessOpts {
             crash_points: None,
             crash_at: Vec::new(),
             specs: Vec::new(),
+            trace: None,
+            profile: false,
         }
     }
 }
@@ -55,6 +61,8 @@ pub const USAGE: &str = "options:
   --crash-at CYCLE     (recovery experiment) add a crash at the given cycle; repeatable
   --spec PATH...       (suite runner only) run scenario spec files (.toml/.json) instead
                        of a catalogue experiment; globs expand naturally
+  --trace PATH         write an NDJSON event trace (schema dhtm-trace-v1) to PATH
+  --profile            print an end-of-run component-stat profile table
   --help               print this help";
 
 impl HarnessOpts {
@@ -116,6 +124,12 @@ impl HarnessOpts {
                     while args.peek().is_some_and(|a| !a.starts_with('-')) {
                         opts.specs.push(PathBuf::from(args.next().expect("peeked")));
                     }
+                }
+                "--trace" => {
+                    opts.trace = Some(PathBuf::from(value_for("--trace")?));
+                }
+                "--profile" => {
+                    opts.profile = true;
                 }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -209,6 +223,17 @@ mod tests {
                 .jobs,
             3
         );
+    }
+
+    #[test]
+    fn parses_trace_and_profile_flags() {
+        let opts = HarnessOpts::parse(["--trace", "/tmp/run.ndjson", "--profile"]).unwrap();
+        assert_eq!(opts.trace, Some(PathBuf::from("/tmp/run.ndjson")));
+        assert!(opts.profile);
+        let defaults = HarnessOpts::default();
+        assert_eq!(defaults.trace, None);
+        assert!(!defaults.profile);
+        assert!(HarnessOpts::parse(["--trace"]).is_err());
     }
 
     #[test]

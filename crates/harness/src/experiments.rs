@@ -17,7 +17,7 @@ use crate::matrix::{CommitSpec, ConfigVariant, Matrix};
 use crate::report::{
     geometric_mean, row_line, rows_to_csv, rows_to_json, so_normalised, OutputFormat,
 };
-use crate::runner::{run_matrix, Row};
+use crate::runner::{run_matrix, run_matrix_traced, Row};
 use crate::{default_base, quick_mode, MICRO_NAMES};
 
 /// The rendered outcome of one experiment: human-readable table lines plus
@@ -154,6 +154,7 @@ pub fn run_specs(paths: &[std::path::PathBuf]) -> Result<ExperimentResult, Strin
             seed: spec.derived_seed(),
             target_commits: spec.limits.target_commits,
             stats: result.stats.clone(),
+            probes: Vec::new(),
         };
         lines.push(format!(
             "| {:<24} | {:<12} | {:<7} | {:>8} commits | {:>10} cycles | hash {:016x} |",
@@ -175,12 +176,53 @@ pub fn run_specs(paths: &[std::path::PathBuf]) -> Result<ExperimentResult, Strin
 
 /// Runs `matrix` with the CLI's worker count and tags the rows with the
 /// experiment name.
+///
+/// When `--trace` or `--profile` is active the matrix runs through the
+/// instrumented runner instead: rows carry their flattened probe registry
+/// (surfacing in the JSON dump and the profile table) and each cell's
+/// NDJSON trace block is appended to the trace file in matrix order.
+/// Either way the simulated runs are bit-identical — observers and probes
+/// cannot perturb a run.
 fn run_tagged(name: &'static str, matrix: &Matrix, opts: &HarnessOpts) -> Vec<Row> {
-    let mut rows = run_matrix(matrix, opts.jobs);
+    let mut rows = if opts.trace.is_some() || opts.profile {
+        let traced = run_matrix_traced(matrix, opts.jobs, name);
+        if let Some(path) = &opts.trace {
+            append_trace(path, traced.iter().flat_map(|(_, lines)| lines));
+        }
+        traced.into_iter().map(|(row, _)| row).collect()
+    } else {
+        run_matrix(matrix, opts.jobs)
+    };
     for row in &mut rows {
         row.experiment = name.to_string();
     }
     rows
+}
+
+/// Truncates (or creates) the `--trace` output file so a run's stream
+/// starts clean. Call once per process before any experiment runs; the
+/// experiment runners then append per-experiment blocks sequentially.
+///
+/// # Panics
+///
+/// Panics if the file cannot be created.
+pub fn prepare_trace(opts: &HarnessOpts) {
+    if let Some(path) = &opts.trace {
+        std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+    }
+}
+
+fn append_trace<'a>(path: &std::path::Path, lines: impl Iterator<Item = &'a String>) {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("cannot open trace file {}: {e}", path.display()));
+    for line in lines {
+        writeln!(file, "{line}")
+            .unwrap_or_else(|e| panic!("cannot write trace file {}: {e}", path.display()));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -688,6 +730,7 @@ fn recovery(opts: &HarnessOpts) -> ExperimentResult {
             seed: r.cell.seed,
             target_commits: r.cell.commits,
             stats: r.stats.clone(),
+            probes: Vec::new(),
         })
         .collect();
 
@@ -723,6 +766,7 @@ fn recovery(opts: &HarnessOpts) -> ExperimentResult {
             seed: cell.seed,
             target_commits: cell.commits,
             stats,
+            probes: Vec::new(),
         });
     }
 
@@ -785,6 +829,15 @@ pub fn emit(opts: &HarnessOpts, results: &[ExperimentResult]) {
         }
     }
     let all_rows: Vec<Row> = results.iter().flat_map(|r| r.rows.clone()).collect();
+    if opts.profile {
+        for line in profile_lines(&all_rows) {
+            if dump_on_stdout {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+        }
+    }
     let dump = match opts.format {
         OutputFormat::Table => return,
         OutputFormat::Json => rows_to_json(&all_rows),
@@ -800,6 +853,35 @@ pub fn emit(opts: &HarnessOpts, results: &[ExperimentResult]) {
         }
         None => print!("{dump}"),
     }
+}
+
+/// The `--profile` table: every row's flattened probe registry summed into
+/// one component-stat profile across the emitted cells. Returns no lines
+/// when nothing was instrumented (e.g. `--profile` with only the
+/// arithmetic-only `table2`).
+fn profile_lines(rows: &[Row]) -> Vec<String> {
+    let mut totals: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for row in rows {
+        for (name, value) in &row.probes {
+            *totals.entry(name.as_str()).or_insert(0) += value;
+        }
+    }
+    if totals.is_empty() {
+        return Vec::new();
+    }
+    let pairs: Vec<(String, u64)> = totals
+        .into_iter()
+        .map(|(name, value)| (name.to_string(), value))
+        .collect();
+    let mut lines = vec![
+        String::new(),
+        format!(
+            "# Component-stat profile (summed over {} instrumented cells)",
+            rows.iter().filter(|r| !r.probes.is_empty()).count()
+        ),
+    ];
+    lines.extend(dhtm_obs::profile::render_flat(&pairs));
+    lines
 }
 
 /// CLI entry point shared by the thin figure/table binaries: parses the
@@ -822,6 +904,7 @@ pub fn run_cli(name: &str) {
         }
     }
     let experiment = by_name(name).unwrap_or_else(|| panic!("unregistered experiment {name}"));
+    prepare_trace(&opts);
     let result = experiment.run(&opts);
     emit(&opts, &[result]);
 }

@@ -112,8 +112,37 @@ fn numeric_fields(row: &Row) -> Vec<(&'static str, f64)> {
         };
         fields.push((name, count));
     }
+    // Component-stat probe aggregates (instrumented runs only; all zero on
+    // the plain path). The column set is fixed so the CSV header never
+    // depends on which probes a particular row happened to collect.
+    for (name, suffix) in PROBE_COLUMNS {
+        fields.push((name, row.probe_sum(suffix) as f64));
+    }
     fields
 }
+
+/// The fixed probe-aggregate columns exported alongside the run statistics:
+/// `(column name, probe-name suffix summed across scopes)`. Per-core probes
+/// like `coreN/l1/evictions` aggregate into one column per component.
+const PROBE_COLUMNS: &[(&str, &str)] = &[
+    ("probe_l1_evictions", "l1/evictions"),
+    ("probe_llc_evictions", "llc/evictions"),
+    ("probe_channel_busy_cycles", "channel/busy_cycles"),
+    ("probe_channel_idle_cycles", "channel/idle_cycles"),
+    (
+        "probe_channel_queue_delay_cycles",
+        "channel/queue_delay_cycles",
+    ),
+    ("probe_dir_sharer_walks", "dir/sharer_walks"),
+    ("probe_dir_invalidations", "dir/invalidations"),
+    ("probe_log_buffer_evictions", "log_buffer/evictions"),
+    (
+        "probe_log_buffer_peak_occupancy",
+        "log_buffer/peak_occupancy",
+    ),
+    ("probe_overflow_appended", "overflow/appended"),
+    ("probe_mshr_merges", "mshr/merges"),
+];
 
 fn format_number(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 9.0e15 {
@@ -141,6 +170,19 @@ pub fn rows_to_json(rows: &[Row]) -> String {
         for (name, value) in numeric_fields(row) {
             let _ = write!(out, ", \"{name}\": {}", format_number(value));
         }
+        // Instrumented rows additionally carry the full flattened probe
+        // registry as a nested object; plain rows stay byte-identical to
+        // the pre-observability schema.
+        if !row.probes.is_empty() {
+            out.push_str(", \"probes\": {");
+            for (j, (name, value)) in row.probes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": {value}", json_escape(name));
+            }
+            out.push('}');
+        }
         out.push('}');
         if i + 1 < rows.len() {
             out.push(',');
@@ -164,6 +206,7 @@ fn numeric_field_names() -> Vec<&'static str> {
         seed: 0,
         target_commits: 0,
         stats: Default::default(),
+        probes: Vec::new(),
     };
     numeric_fields(&empty).into_iter().map(|(n, _)| n).collect()
 }
@@ -267,6 +310,7 @@ mod tests {
             seed: 1,
             target_commits: committed,
             stats,
+            probes: Vec::new(),
         }
     }
 
@@ -310,6 +354,44 @@ mod tests {
     #[test]
     fn json_escaping_handles_special_characters() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn probe_columns_aggregate_scoped_probes_and_default_to_zero() {
+        let mut instrumented = row("DHTM", "hash", 10, 1000);
+        instrumented.probes = vec![
+            ("core0/l1/evictions".to_string(), 3),
+            ("core1/l1/evictions".to_string(), 4),
+            ("llc/evictions".to_string(), 7),
+            ("channel/queue_delay_cycles".to_string(), 250),
+        ];
+        assert_eq!(instrumented.probe_sum("l1/evictions"), 7);
+        assert_eq!(instrumented.probe_sum("llc/evictions"), 7);
+        // `delay_cycles` is a suffix of the probe name but not a full
+        // path-segment suffix — it must not match.
+        assert_eq!(instrumented.probe_sum("delay_cycles"), 0);
+        assert_eq!(instrumented.probe_sum("dir/sharer_walks"), 0);
+
+        let csv = rows_to_csv(&[instrumented.clone(), row("SO", "hash", 10, 1000)]);
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        let probe_col = header
+            .iter()
+            .position(|&h| h == "probe_l1_evictions")
+            .expect("probe columns in header");
+        assert!(header.contains(&"probe_channel_queue_delay_cycles"));
+        let traced: Vec<&str> = lines.next().unwrap().split(',').collect();
+        let plain: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(traced[probe_col], "7");
+        assert_eq!(plain[probe_col], "0", "plain rows carry zeroed columns");
+
+        let json = rows_to_json(&[instrumented, row("SO", "hash", 10, 1000)]);
+        assert!(json.contains("\"probes\": {\"core0/l1/evictions\": 3"));
+        assert_eq!(
+            json.matches("\"probes\"").count(),
+            1,
+            "plain rows must not emit a probes object"
+        );
     }
 
     #[test]

@@ -306,6 +306,16 @@ impl TxEngine for RtmEngine {
     fn fallback_commits(&self) -> u64 {
         self.fallback_commits
     }
+
+    fn probes_into(&self, reg: &mut dhtm_obs::ProbeRegistry) {
+        reg.add("engine/fallback_commits", self.fallback_commits);
+        for (i, st) in self.states.iter().enumerate() {
+            reg.add(
+                &format!("core{i}/signature/insertions"),
+                st.signature.insertions(),
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,9 @@ pub struct MemoryChannel {
     cursor: u128,
     /// Accumulated busy time in `1/num` cycle units.
     busy: u128,
+    /// Accumulated queueing delay in `1/num` cycle units: how long
+    /// requests waited behind earlier transfers before starting.
+    queue_delay: u128,
     total_bytes: u64,
     transfers: u64,
 }
@@ -99,6 +102,7 @@ impl MemoryChannel {
             den,
             cursor: 0,
             busy: 0,
+            queue_delay: 0,
             total_bytes: 0,
             transfers: 0,
         }
@@ -138,12 +142,14 @@ impl MemoryChannel {
     /// fully on the other side of the bus). Queueing delay caused by earlier
     /// transfers is included.
     pub fn request(&mut self, now: u64, bytes: u64) -> u64 {
-        let start = self.cursor.max(self.units_of_cycle(now));
+        let arrival = self.units_of_cycle(now);
+        let start = self.cursor.max(arrival);
         let duration = self.duration_units(bytes);
         let done = start + duration;
         self.cursor = done;
         self.total_bytes += bytes;
         self.busy += duration;
+        self.queue_delay += start - arrival;
         self.transfers += 1;
         done.div_ceil(self.num) as u64
     }
@@ -171,6 +177,30 @@ impl MemoryChannel {
     /// Number of individual transfers serviced.
     pub fn transfers(&self) -> u64 {
         self.transfers
+    }
+
+    /// Total cycles requests spent queued behind earlier transfers before
+    /// starting, rounded half-up like [`MemoryChannel::busy_cycles`].
+    pub fn queue_delay_cycles(&self) -> u64 {
+        ((self.queue_delay * 2 + self.num) / (self.num * 2)) as u64
+    }
+
+    /// Cycles the channel sat idle over `[0, horizon]`: the busy-vs-idle
+    /// split of the run (saturating when rounding puts busy past the
+    /// horizon).
+    pub fn idle_cycles(&self, horizon: u64) -> u64 {
+        horizon.saturating_sub(self.busy_cycles())
+    }
+
+    /// Registers the channel's probes under the `channel/` scope:
+    /// busy-vs-idle cycles over `[0, horizon]`, accumulated queueing
+    /// delay, transferred bytes and transfer count.
+    pub fn probes_into(&self, horizon: u64, reg: &mut dhtm_obs::ProbeRegistry) {
+        reg.add("channel/busy_cycles", self.busy_cycles());
+        reg.add("channel/idle_cycles", self.idle_cycles(horizon));
+        reg.add("channel/queue_delay_cycles", self.queue_delay_cycles());
+        reg.add("channel/total_bytes", self.total_bytes);
+        reg.add("channel/transfers", self.transfers);
     }
 
     /// Channel utilisation over the interval `[0, horizon]` as a fraction.
@@ -314,6 +344,36 @@ mod tests {
         }
         assert_eq!(ch.next_free_cycle(), last_done);
         assert_eq!(last_done, 400);
+    }
+
+    #[test]
+    fn queue_delay_counts_waiting_not_service() {
+        let mut ch = MemoryChannel::new(2.0);
+        // First request at an idle channel: no queueing delay.
+        ch.request(0, 64); // busy until cycle 32
+        assert_eq!(ch.queue_delay_cycles(), 0);
+        // Second request at cycle 10 waits 22 cycles behind the first.
+        ch.request(10, 64);
+        assert_eq!(ch.queue_delay_cycles(), 22);
+        // A request after the channel went idle adds no delay.
+        ch.request(1000, 64);
+        assert_eq!(ch.queue_delay_cycles(), 22);
+        assert_eq!(ch.busy_cycles(), 96);
+        assert_eq!(ch.idle_cycles(1032), 1032 - 96);
+    }
+
+    #[test]
+    fn probes_cover_the_busy_idle_split() {
+        let mut ch = MemoryChannel::new(2.0);
+        ch.request(0, 64);
+        ch.request(0, 64);
+        let mut reg = dhtm_obs::ProbeRegistry::new();
+        ch.probes_into(100, &mut reg);
+        assert_eq!(reg.counter("channel/busy_cycles"), 64);
+        assert_eq!(reg.counter("channel/idle_cycles"), 36);
+        assert_eq!(reg.counter("channel/queue_delay_cycles"), 32);
+        assert_eq!(reg.counter("channel/total_bytes"), 128);
+        assert_eq!(reg.counter("channel/transfers"), 2);
     }
 
     #[test]

@@ -336,6 +336,22 @@ impl PersistentDomain {
     pub fn total_log_records(&self) -> u64 {
         self.logs.iter().map(|l| l.appended_records()).sum()
     }
+
+    /// Registers the domain's durable-structure counters: aggregate log
+    /// traffic plus per-thread overflow-list growth (`threadN/overflow/...`).
+    pub fn probes_into(&self, reg: &mut dhtm_obs::ProbeRegistry) {
+        reg.add("domain/log_bytes", self.total_log_bytes());
+        reg.add("domain/log_records", self.total_log_records());
+        reg.add("domain/mutations", self.mutations);
+        for list in &self.overflow_lists {
+            let t = list.owner().get();
+            reg.add(&format!("thread{t}/overflow/appended"), list.appended());
+            reg.set(
+                &format!("thread{t}/overflow/peak_len"),
+                list.peak_len() as u64,
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +395,22 @@ mod tests {
             .unwrap();
         assert_eq!(d.total_log_records(), 2);
         assert_eq!(d.total_log_bytes(), 72 + 16);
+    }
+
+    #[test]
+    fn domain_probes_cover_logs_and_overflow_lists() {
+        let mut d = PersistentDomain::new(2, 16, 16);
+        let t1 = ThreadId::new(1);
+        d.append_log(t1, LogRecord::commit(TxId::new(1))).unwrap();
+        d.append_overflow(t1, TxId::new(1), LineAddr::new(3))
+            .unwrap();
+        let mut reg = dhtm_obs::ProbeRegistry::new();
+        d.probes_into(&mut reg);
+        assert_eq!(reg.counter("domain/log_records"), 1);
+        assert_eq!(reg.counter("domain/mutations"), 2);
+        assert_eq!(reg.counter("thread0/overflow/appended"), 0);
+        assert_eq!(reg.counter("thread1/overflow/appended"), 1);
+        assert_eq!(reg.counter("thread1/overflow/peak_len"), 1);
     }
 
     #[test]

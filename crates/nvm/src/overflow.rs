@@ -19,6 +19,7 @@ pub struct OverflowList {
     capacity: usize,
     entries: Vec<(TxId, LineAddr)>,
     appended: u64,
+    peak_len: usize,
 }
 
 impl OverflowList {
@@ -34,6 +35,7 @@ impl OverflowList {
             capacity,
             entries: Vec::new(),
             appended: 0,
+            peak_len: 0,
         }
     }
 
@@ -80,6 +82,7 @@ impl OverflowList {
         }
         self.appended += 1;
         self.entries.push((tx, line));
+        self.peak_len = self.peak_len.max(self.entries.len());
         Ok(())
     }
 
@@ -125,6 +128,12 @@ impl OverflowList {
     /// Lifetime count of appended entries (for bandwidth statistics).
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Highest simultaneous entry count observed — how far the list actually
+    /// grew towards its capacity over the run.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -178,6 +187,18 @@ mod tests {
         l.clear_tx(a);
         assert!(l.lines_for(a).is_empty());
         assert_eq!(l.lines_for(b), vec![LineAddr::new(2)]);
+    }
+
+    #[test]
+    fn peak_len_survives_clearing() {
+        let mut l = list();
+        let tx = TxId::new(1);
+        l.append(tx, LineAddr::new(1)).unwrap();
+        l.append(tx, LineAddr::new(2)).unwrap();
+        l.append(tx, LineAddr::new(3)).unwrap();
+        l.clear_tx(tx);
+        assert!(l.is_empty());
+        assert_eq!(l.peak_len(), 3);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use dhtm_baselines::registry::{self, EngineFactory, EngineId};
 use dhtm_baselines::EngineDispatch;
+use dhtm_obs::ProbeRegistry;
 use dhtm_sim::driver::{RunLimits, SimulationResult, Simulator};
+use dhtm_sim::engine::TxEngine;
 use dhtm_sim::machine::Machine;
 use dhtm_sim::observer::SimObserver;
 use dhtm_sim::workload::Workload;
@@ -126,6 +128,35 @@ impl ResolvedSpec {
     pub fn label(&self) -> &str {
         &self.factory.info().label
     }
+
+    /// Runs the spec (optionally observed) and collects the component-stat
+    /// registry afterwards: per-core L1s/log buffers, LLC, directory,
+    /// persistence domain, memory channel and engine internals.
+    ///
+    /// The probes are read off the machine and engine only *after* the run
+    /// finishes — nothing is sampled on the hot path — so a probed run is
+    /// bit-identical to [`ResolvedSpec::run`] (the registry parity tests
+    /// enforce this across every engine).
+    pub fn run_probed(
+        &self,
+        observer: Option<&mut dyn SimObserver>,
+    ) -> (SimulationResult, ProbeRegistry) {
+        let (mut machine, mut engine, mut workload, limits) = self.components();
+        let result = match observer {
+            Some(obs) => Simulator::new().run_with_observer(
+                &mut machine,
+                &mut engine,
+                workload.as_mut(),
+                &limits,
+                obs,
+            ),
+            None => Simulator::new().run(&mut machine, &mut engine, workload.as_mut(), &limits),
+        };
+        let mut reg = ProbeRegistry::new();
+        machine.mem.probes_into(result.stats.total_cycles, &mut reg);
+        engine.probes_into(&mut reg);
+        (result, reg)
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +183,28 @@ mod tests {
             .run(&mut machine, &mut engine, workload.as_mut(), &limits)
             .stats;
         assert_eq!(via_spec, by_hand);
+    }
+
+    #[test]
+    fn probed_run_is_bit_identical_and_collects_probes() {
+        let spec = SimSpec::builder(DesignKind::Dhtm, "hash")
+            .base(BaseConfig::Small)
+            .commits(8)
+            .seed(7)
+            .build()
+            .unwrap();
+        let resolved = spec.resolve().unwrap();
+        let plain = resolved.run().stats;
+        let (probed, reg) = resolved.run_probed(None);
+        assert_eq!(plain, probed.stats);
+        assert!(!reg.is_empty());
+        assert!(reg.get("llc/hits").is_some());
+        assert!(reg.get("channel/busy_cycles").is_some());
+        assert!(
+            reg.get("core0/log_buffer/inserts").is_some(),
+            "DHTM exports its log buffers"
+        );
+        assert!(reg.get("engine/commit_persist_waits").is_some());
     }
 
     #[test]

@@ -30,10 +30,12 @@ pub mod exec;
 pub mod format;
 pub mod metrics;
 pub mod spec;
+pub mod trace;
 
 pub use exec::ResolvedSpec;
 pub use metrics::MetricsSink;
 pub use spec::{SimSpec, SimSpecBuilder, SpecError, SpecLimits};
+pub use trace::TraceRecorder;
 
 /// The base seed every experiment uses unless a spec overrides it (the
 /// value `dhtm_harness::EXPERIMENT_SEED` re-exports).

@@ -13,14 +13,14 @@ use dhtm_sim::observer::{SimObserver, StepContext};
 use dhtm_types::stats::AbortReason;
 
 /// Streaming per-run metrics collected through observer callbacks.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct MetricsSink {
     /// Logical transactions fetched from the workload.
     pub begins: u64,
     /// Transactions committed.
     pub commits: u64,
-    /// Aborted attempts, tallied per reason (indexed like
-    /// [`AbortReason::ALL`]).
+    /// Aborted attempts, tallied per reason (indexed by
+    /// [`AbortReason::index`]).
     aborts: [u64; AbortReason::ALL.len()],
     /// Steps that advanced the durable-mutation clock.
     pub durable_ticks: u64,
@@ -28,15 +28,55 @@ pub struct MetricsSink {
     pub durable_mutations: u64,
     /// Armed crash points crossed.
     pub crash_points: u64,
-    /// The simulated cycle of each commit, in commit order — the streaming
-    /// throughput series.
+    /// The simulated cycle of every `stride`-th commit, in commit order —
+    /// the streaming throughput series. Non-decreasing: the driver delivers
+    /// observer callbacks in simulated-time order.
     pub commit_cycles: Vec<u64>,
+    /// Sampling stride for `commit_cycles` (1 = record every commit).
+    stride: u64,
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        MetricsSink {
+            begins: 0,
+            commits: 0,
+            aborts: [0; AbortReason::ALL.len()],
+            durable_ticks: 0,
+            durable_mutations: 0,
+            crash_points: 0,
+            commit_cycles: Vec::new(),
+            stride: 1,
+        }
+    }
 }
 
 impl MetricsSink {
-    /// A fresh, empty sink.
+    /// A fresh, empty sink recording every commit cycle exactly.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A sink that records only every `stride`-th commit cycle, bounding
+    /// `commit_cycles` to `⌈commits / stride⌉` entries for long runs. The
+    /// scalar tallies (`commits`, aborts, ...) stay exact; windowed counts
+    /// become stride-scaled estimates (see
+    /// [`MetricsSink::commits_in_window`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_commit_stride(stride: u64) -> Self {
+        assert!(stride > 0, "commit-cycle stride must be positive");
+        MetricsSink {
+            stride,
+            ..Self::default()
+        }
+    }
+
+    /// The commit-cycle sampling stride (1 = exact).
+    pub fn commit_stride(&self) -> u64 {
+        self.stride
     }
 
     /// Total aborted attempts across all reasons.
@@ -46,11 +86,7 @@ impl MetricsSink {
 
     /// Aborts recorded for one reason.
     pub fn aborts_for(&self, reason: AbortReason) -> u64 {
-        let idx = AbortReason::ALL
-            .iter()
-            .position(|r| *r == reason)
-            .expect("ALL is exhaustive");
-        self.aborts[idx]
+        self.aborts[reason.index()]
     }
 
     /// Committed transactions per million cycles up to the latest commit
@@ -64,12 +100,34 @@ impl MetricsSink {
     }
 
     /// Commits that landed in the half-open cycle window `[from, to)` —
-    /// the primitive for windowed throughput series.
+    /// the primitive for windowed throughput series. Two binary searches
+    /// over the sorted cycle series, not a scan.
+    ///
+    /// With a sampling stride above 1 this is an estimate: the count of
+    /// *sampled* commits in the window scaled by the stride (exact to
+    /// within one stride over the whole run).
     pub fn commits_in_window(&self, from: u64, to: u64) -> u64 {
-        self.commit_cycles
-            .iter()
-            .filter(|&&c| from <= c && c < to)
-            .count() as u64
+        let lo = self.commit_cycles.partition_point(|&c| c < from);
+        let hi = self.commit_cycles.partition_point(|&c| c < to.max(from));
+        (hi - lo) as u64 * self.stride
+    }
+
+    /// The windowed throughput series: commits per consecutive
+    /// `window`-cycle bucket from cycle 0 through the last recorded commit
+    /// (empty if nothing committed). Stride-scaled like
+    /// [`MetricsSink::commits_in_window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn throughput_series(&self, window: u64) -> Vec<u64> {
+        assert!(window > 0, "window must be positive");
+        let Some(&last) = self.commit_cycles.last() else {
+            return Vec::new();
+        };
+        (0..=last / window)
+            .map(|k| self.commits_in_window(k * window, (k + 1) * window))
+            .collect()
     }
 }
 
@@ -79,16 +137,18 @@ impl SimObserver for MetricsSink {
     }
 
     fn on_commit(&mut self, ctx: &StepContext<'_>, _tx: &dhtm_sim::workload::Transaction) {
+        debug_assert!(
+            self.commit_cycles.last().is_none_or(|&l| l <= ctx.now),
+            "commit callbacks must arrive in simulated-time order"
+        );
+        if self.commits.is_multiple_of(self.stride) {
+            self.commit_cycles.push(ctx.now);
+        }
         self.commits += 1;
-        self.commit_cycles.push(ctx.now);
     }
 
     fn on_abort(&mut self, _ctx: &StepContext<'_>, reason: AbortReason) {
-        let idx = AbortReason::ALL
-            .iter()
-            .position(|r| *r == reason)
-            .expect("ALL is exhaustive");
-        self.aborts[idx] += 1;
+        self.aborts[reason.index()] += 1;
     }
 
     fn on_durable_tick(&mut self, ctx: &StepContext<'_>) {
@@ -128,6 +188,74 @@ mod tests {
         assert!(sink.throughput_so_far() > 0.0);
         let last = *sink.commit_cycles.last().unwrap();
         assert_eq!(sink.commits_in_window(0, last + 1), 10);
+    }
+
+    #[test]
+    fn windowed_series_sums_to_total_commits() {
+        let spec = SimSpec::builder(DesignKind::Dhtm, "hash")
+            .base(BaseConfig::Small)
+            .commits(25)
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut sink = MetricsSink::new();
+        spec.run_with_observer(&mut sink).unwrap();
+        let window = 1_000;
+        let series = sink.throughput_series(window);
+        assert_eq!(series.iter().sum::<u64>(), sink.commits);
+        // Each bucket agrees with a brute-force scan over the raw series.
+        for (k, &count) in series.iter().enumerate() {
+            let (from, to) = (k as u64 * window, (k as u64 + 1) * window);
+            let brute = sink
+                .commit_cycles
+                .iter()
+                .filter(|&&c| from <= c && c < to)
+                .count() as u64;
+            assert_eq!(count, brute, "bucket {k}");
+        }
+        // Degenerate windows are empty, not panics.
+        assert_eq!(sink.commits_in_window(10, 10), 0);
+        assert_eq!(sink.commits_in_window(20, 10), 0);
+    }
+
+    #[test]
+    fn stride_downsampling_bounds_memory_and_approximates_exact() {
+        let spec = SimSpec::builder(DesignKind::Dhtm, "hash")
+            .base(BaseConfig::Small)
+            .commits(40)
+            .seed(11)
+            .build()
+            .unwrap();
+        let mut exact = MetricsSink::new();
+        spec.run_with_observer(&mut exact).unwrap();
+        let stride = 8;
+        let mut sampled = MetricsSink::with_commit_stride(stride);
+        spec.run_with_observer(&mut sampled).unwrap();
+
+        // Scalar tallies stay exact.
+        assert_eq!(sampled.commits, exact.commits);
+        assert_eq!(sampled.total_aborts(), exact.total_aborts());
+        // Memory is bounded to ceil(commits / stride).
+        assert_eq!(
+            sampled.commit_cycles.len() as u64,
+            exact.commits.div_ceil(stride)
+        );
+        // The whole-run windowed count is exact to within one stride.
+        let full = sampled.commits_in_window(0, u64::MAX);
+        assert!(
+            full.abs_diff(exact.commits) < stride,
+            "estimate {full} vs exact {}",
+            exact.commits
+        );
+        // Exact default is bit-identical to the historical behaviour.
+        assert_eq!(exact.commit_stride(), 1);
+        assert_eq!(exact.commit_cycles.len() as u64, exact.commits);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stride_panics() {
+        MetricsSink::with_commit_stride(0);
     }
 
     #[test]

@@ -100,6 +100,12 @@ pub trait TxEngine {
     fn fallback_commits(&self) -> u64 {
         0
     }
+
+    /// Registers the engine's own lifetime counters (log-buffer occupancy,
+    /// drain durations, fallback activity, ...) into `reg`. The default is a
+    /// no-op: engines without internal observability export nothing, and
+    /// callers pay nothing unless they ask for a registry after the run.
+    fn probes_into(&self, _reg: &mut dhtm_obs::ProbeRegistry) {}
 }
 
 #[cfg(test)]

@@ -30,6 +30,18 @@ impl AbortReason {
         AbortReason::Fallback,
         AbortReason::Explicit,
     ];
+
+    /// The reason's position in [`AbortReason::ALL`], as a constant-time
+    /// lookup — tally arrays index by this instead of scanning `ALL`.
+    pub const fn index(self) -> usize {
+        match self {
+            AbortReason::Conflict => 0,
+            AbortReason::Capacity => 1,
+            AbortReason::LogOverflow => 2,
+            AbortReason::Fallback => 3,
+            AbortReason::Explicit => 4,
+        }
+    }
 }
 
 impl fmt::Display for AbortReason {
@@ -314,6 +326,13 @@ impl fmt::Display for RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn abort_reason_index_matches_position_in_all() {
+        for (i, r) in AbortReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i, "{r:?}");
+        }
+    }
 
     #[test]
     fn abort_rate_computation() {
