@@ -131,15 +131,32 @@ pub fn catalogue_matrices() -> Vec<(&'static str, Matrix)> {
 /// is loaded, validated against the engine registry and executed; rows are
 /// labelled `spec:<file-stem>` so mixed dumps stay attributable.
 ///
+/// Files that resolve to the same spec content hash are deduplicated:
+/// each distinct spec executes once and the duplicates reuse its result
+/// (their rows are identical apart from the label), with a summary line
+/// reporting how many executions were saved.
+///
 /// # Errors
 ///
 /// Returns the first load/validation error, naming the file.
 pub fn run_specs(paths: &[std::path::PathBuf]) -> Result<ExperimentResult, String> {
     let mut lines = vec!["# Spec runs".to_string()];
     let mut rows = Vec::new();
+    let mut by_hash: std::collections::HashMap<u64, dhtm_types::stats::RunStats> =
+        std::collections::HashMap::new();
+    let mut executed = 0u64;
     for path in paths {
         let spec = SimSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let result = spec.run().map_err(|e| format!("{}: {e}", path.display()))?;
+        let hash = spec.content_hash();
+        let stats = match by_hash.get(&hash) {
+            Some(stats) => stats.clone(),
+            None => {
+                let result = spec.run().map_err(|e| format!("{}: {e}", path.display()))?;
+                executed += 1;
+                by_hash.insert(hash, result.stats.clone());
+                result.stats
+            }
+        };
         let stem = path
             .file_stem()
             .and_then(|s| s.to_str())
@@ -153,19 +170,25 @@ pub fn run_specs(paths: &[std::path::PathBuf]) -> Result<ExperimentResult, Strin
             config: spec.base.to_string(),
             seed: spec.derived_seed(),
             target_commits: spec.limits.target_commits,
-            stats: result.stats.clone(),
+            stats,
             probes: Vec::new(),
         };
         lines.push(format!(
-            "| {:<24} | {:<12} | {:<7} | {:>8} commits | {:>10} cycles | hash {:016x} |",
+            "| {:<24} | {:<12} | {:<7} | {:>8} commits | {:>10} cycles | hash {} |",
             stem,
             row.engine,
             row.workload,
             row.stats.committed,
             row.stats.total_cycles,
-            spec.content_hash(),
+            spec.content_hash_hex(),
         ));
         rows.push(row);
+    }
+    let deduplicated = paths.len() as u64 - executed;
+    if deduplicated > 0 {
+        lines.push(format!(
+            "# {executed} executed, {deduplicated} duplicate spec(s) served from the first run"
+        ));
     }
     Ok(ExperimentResult {
         name: "specs",
@@ -932,5 +955,43 @@ mod tests {
         assert!(result.rows.is_empty());
         assert!(result.lines.len() > 3);
         assert!(result.lines.last().unwrap().contains("bytes per core"));
+    }
+
+    #[test]
+    fn run_specs_deduplicates_identical_spec_files() {
+        let dir = std::env::temp_dir().join(format!("dhtm_specdedup_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = SimSpec::builder(DesignKind::Dhtm, "queue")
+            .commits(4)
+            .seed(9)
+            .build()
+            .unwrap();
+        let other = SimSpec::builder(DesignKind::SoftwareOnly, "queue")
+            .commits(4)
+            .seed(9)
+            .build()
+            .unwrap();
+        // Two copies of the same spec under different names, plus one
+        // genuinely different spec.
+        let paths = vec![dir.join("a.toml"), dir.join("b.toml"), dir.join("c.toml")];
+        std::fs::write(&paths[0], spec.to_toml()).unwrap();
+        std::fs::write(&paths[1], spec.to_toml()).unwrap();
+        std::fs::write(&paths[2], other.to_toml()).unwrap();
+
+        let result = run_specs(&paths).unwrap();
+        assert_eq!(result.rows.len(), 3, "every file still gets a row");
+        assert_eq!(
+            result.rows[0].stats, result.rows[1].stats,
+            "duplicate reuses the first run's stats"
+        );
+        let summary = result.lines.last().unwrap();
+        assert!(
+            summary.contains("2 executed, 1 duplicate"),
+            "expected dedup summary, got: {summary}"
+        );
+        // Rows and table lines carry the canonical 16-hex hash form.
+        assert!(result.lines[1].contains(&spec.content_hash_hex()));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

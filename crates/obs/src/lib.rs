@@ -18,6 +18,11 @@
 //!   container has no serde) used by tests and the CI trace gate.
 //! * [`profile`] — end-of-run text tables over flattened probe values
 //!   (the `--profile` output of the experiment harness).
+//! * [`json::JsonValue`] — a minimal recursive JSON value (objects, arrays,
+//!   strings, unsigned integers) with a canonical compact writer, for the
+//!   workspace's *nested* wire formats: the simulation service's
+//!   `dhtm-svc-v1` protocol and its persisted result records. The flat
+//!   trace validator above predates it and stays byte-for-byte unchanged.
 //!
 //! Components themselves keep plain integer counters that are always on
 //! (the same discipline as the coherence layer's `MemStats`: a handful of
@@ -29,10 +34,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod json;
 pub mod probe;
 pub mod profile;
 pub mod trace;
 
+pub use json::JsonValue;
 pub use probe::{PowHistogram, ProbeRegistry, ProbeSnapshot, ProbeValue};
 pub use trace::{
     event_from_line, parse_line, validate_line, TraceEvent, TraceWriter, TRACE_SCHEMA,

@@ -29,11 +29,13 @@
 pub mod exec;
 pub mod format;
 pub mod metrics;
+pub mod result;
 pub mod spec;
 pub mod trace;
 
 pub use exec::ResolvedSpec;
 pub use metrics::MetricsSink;
+pub use result::{RunRecord, RESULT_SCHEMA};
 pub use spec::{SimSpec, SimSpecBuilder, SpecError, SpecLimits};
 pub use trace::TraceRecorder;
 

@@ -1,0 +1,454 @@
+//! Canonical serialization of a finished run: the persisted face of the
+//! simulation service's content-addressed result store.
+//!
+//! A [`RunRecord`] bundles everything the service serves for one spec
+//! hash: the canonical spec TOML (the content-hash pre-image — kept
+//! verbatim so cache hits can be *verified*, not just trusted), the final
+//! [`RunStats`] and the flattened post-run probe snapshot. Every field in
+//! the workspace's statistics is an integer, so the JSON form
+//! ([`RunRecord::to_json`]) round-trips exactly: `from_json(to_json(r))`
+//! reproduces `r` bit-for-bit and `to_json` is a normal form — the
+//! byte-identity guarantee the service's cold/warm-path tests pin.
+//!
+//! The parser is deliberately strict: unknown or missing statistics
+//! fields, a schema-tag mismatch or a hash inconsistent with the embedded
+//! spec all *fail the parse*. A stale record written by a different
+//! code revision therefore falls back to recompute instead of being
+//! served with silently-misinterpreted numbers.
+
+use dhtm_obs::json::JsonValue;
+use dhtm_obs::ProbeRegistry;
+use dhtm_types::seed::{content_hash64, hash_hex};
+use dhtm_types::stats::{AbortReason, RecoveryCounters, RunStats};
+
+use crate::spec::SimSpec;
+
+/// Version tag carried by every serialized record.
+pub const RESULT_SCHEMA: &str = "dhtm-result-v1";
+
+/// A finished run in its canonical, servable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The spec's canonical TOML — the exact pre-image of its content
+    /// hash, stored so a cache hit can re-derive and compare the hash.
+    pub spec_toml: String,
+    /// The run's final aggregate statistics.
+    pub stats: RunStats,
+    /// The flattened post-run probe registry (`name → value`, sorted by
+    /// name as [`ProbeRegistry::flatten`] yields it).
+    pub probes: Vec<(String, u64)>,
+}
+
+/// Field order of the `stats` object — one place, shared by the writer
+/// and the strict reader, so the two cannot drift.
+const STAT_FIELDS: &[&str] = &[
+    "committed",
+    "steps",
+    "total_cycles",
+    "loads",
+    "stores",
+    "log_records_written",
+    "log_bytes_written",
+    "data_bytes_written",
+    "nvm_line_reads",
+    "l1_hits",
+    "l1_misses",
+    "llc_hits",
+    "llc_misses",
+    "write_set_overflows",
+    "lock_wait_cycles",
+    "commit_stall_cycles",
+    "total_stall_cycles",
+    "fallback_commits",
+    "sum_write_set_lines",
+    "sum_read_set_lines",
+];
+
+const RECOVERY_FIELDS: &[&str] = &[
+    "crash_points",
+    "oracle_failures",
+    "replayed_transactions",
+    "rolled_back_transactions",
+    "skipped_complete",
+    "skipped_uncommitted",
+    "lines_written",
+    "words_written",
+    "redo_lines_applied",
+    "undo_lines_applied",
+    "sentinel_edges",
+];
+
+fn stat_field(stats: &RunStats, name: &str) -> u64 {
+    match name {
+        "committed" => stats.committed,
+        "steps" => stats.steps,
+        "total_cycles" => stats.total_cycles,
+        "loads" => stats.loads,
+        "stores" => stats.stores,
+        "log_records_written" => stats.log_records_written,
+        "log_bytes_written" => stats.log_bytes_written,
+        "data_bytes_written" => stats.data_bytes_written,
+        "nvm_line_reads" => stats.nvm_line_reads,
+        "l1_hits" => stats.l1_hits,
+        "l1_misses" => stats.l1_misses,
+        "llc_hits" => stats.llc_hits,
+        "llc_misses" => stats.llc_misses,
+        "write_set_overflows" => stats.write_set_overflows,
+        "lock_wait_cycles" => stats.lock_wait_cycles,
+        "commit_stall_cycles" => stats.commit_stall_cycles,
+        "total_stall_cycles" => stats.total_stall_cycles,
+        "fallback_commits" => stats.fallback_commits,
+        "sum_write_set_lines" => stats.sum_write_set_lines,
+        "sum_read_set_lines" => stats.sum_read_set_lines,
+        other => unreachable!("unlisted stat field {other}"),
+    }
+}
+
+fn set_stat_field(stats: &mut RunStats, name: &str, value: u64) {
+    match name {
+        "committed" => stats.committed = value,
+        "steps" => stats.steps = value,
+        "total_cycles" => stats.total_cycles = value,
+        "loads" => stats.loads = value,
+        "stores" => stats.stores = value,
+        "log_records_written" => stats.log_records_written = value,
+        "log_bytes_written" => stats.log_bytes_written = value,
+        "data_bytes_written" => stats.data_bytes_written = value,
+        "nvm_line_reads" => stats.nvm_line_reads = value,
+        "l1_hits" => stats.l1_hits = value,
+        "l1_misses" => stats.l1_misses = value,
+        "llc_hits" => stats.llc_hits = value,
+        "llc_misses" => stats.llc_misses = value,
+        "write_set_overflows" => stats.write_set_overflows = value,
+        "lock_wait_cycles" => stats.lock_wait_cycles = value,
+        "commit_stall_cycles" => stats.commit_stall_cycles = value,
+        "total_stall_cycles" => stats.total_stall_cycles = value,
+        "fallback_commits" => stats.fallback_commits = value,
+        "sum_write_set_lines" => stats.sum_write_set_lines = value,
+        "sum_read_set_lines" => stats.sum_read_set_lines = value,
+        other => unreachable!("unlisted stat field {other}"),
+    }
+}
+
+fn recovery_field(r: &RecoveryCounters, name: &str) -> u64 {
+    match name {
+        "crash_points" => r.crash_points,
+        "oracle_failures" => r.oracle_failures,
+        "replayed_transactions" => r.replayed_transactions,
+        "rolled_back_transactions" => r.rolled_back_transactions,
+        "skipped_complete" => r.skipped_complete,
+        "skipped_uncommitted" => r.skipped_uncommitted,
+        "lines_written" => r.lines_written,
+        "words_written" => r.words_written,
+        "redo_lines_applied" => r.redo_lines_applied,
+        "undo_lines_applied" => r.undo_lines_applied,
+        "sentinel_edges" => r.sentinel_edges,
+        other => unreachable!("unlisted recovery field {other}"),
+    }
+}
+
+fn set_recovery_field(r: &mut RecoveryCounters, name: &str, value: u64) {
+    match name {
+        "crash_points" => r.crash_points = value,
+        "oracle_failures" => r.oracle_failures = value,
+        "replayed_transactions" => r.replayed_transactions = value,
+        "rolled_back_transactions" => r.rolled_back_transactions = value,
+        "skipped_complete" => r.skipped_complete = value,
+        "skipped_uncommitted" => r.skipped_uncommitted = value,
+        "lines_written" => r.lines_written = value,
+        "words_written" => r.words_written = value,
+        "redo_lines_applied" => r.redo_lines_applied = value,
+        "undo_lines_applied" => r.undo_lines_applied = value,
+        "sentinel_edges" => r.sentinel_edges = value,
+        other => unreachable!("unlisted recovery field {other}"),
+    }
+}
+
+fn abort_reason_from_name(name: &str) -> Option<AbortReason> {
+    AbortReason::ALL.into_iter().find(|r| r.to_string() == name)
+}
+
+impl RunRecord {
+    /// Assembles a record from a spec and its finished run (stats + probe
+    /// registry as [`crate::ResolvedSpec::run_probed`] returns them).
+    pub fn from_run(spec: &SimSpec, stats: &RunStats, probes: &ProbeRegistry) -> Self {
+        RunRecord {
+            spec_toml: spec.to_toml(),
+            stats: stats.clone(),
+            probes: probes.flatten(),
+        }
+    }
+
+    /// The spec's 64-bit content hash, re-derived from the stored TOML.
+    pub fn content_hash(&self) -> u64 {
+        content_hash64(self.spec_toml.as_bytes())
+    }
+
+    /// [`RunRecord::content_hash`] in canonical 16-hex-digit form.
+    pub fn content_hash_hex(&self) -> String {
+        hash_hex(self.content_hash())
+    }
+
+    /// Renders the canonical JSON form (single line, no trailing newline).
+    /// Deterministic: equal records render byte-identically.
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// The canonical form as a [`JsonValue`] — for embedding a record
+    /// inside a larger message (the service's `done` event) without a
+    /// render/re-parse round trip.
+    pub fn to_value(&self) -> JsonValue {
+        let stats_obj = {
+            let mut pairs: Vec<(String, JsonValue)> = STAT_FIELDS
+                .iter()
+                .map(|&f| (f.to_string(), JsonValue::UInt(stat_field(&self.stats, f))))
+                .collect();
+            pairs.push((
+                "aborts".to_string(),
+                JsonValue::Object(
+                    self.stats
+                        .aborts
+                        .iter()
+                        .map(|(r, &n)| (r.to_string(), JsonValue::UInt(n)))
+                        .collect(),
+                ),
+            ));
+            pairs.push((
+                "recovery".to_string(),
+                JsonValue::Object(
+                    RECOVERY_FIELDS
+                        .iter()
+                        .map(|&f| {
+                            (
+                                f.to_string(),
+                                JsonValue::UInt(recovery_field(&self.stats.recovery, f)),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+            JsonValue::Object(pairs)
+        };
+        JsonValue::Object(vec![
+            (
+                "schema".to_string(),
+                JsonValue::Str(RESULT_SCHEMA.to_string()),
+            ),
+            ("hash".to_string(), JsonValue::Str(self.content_hash_hex())),
+            (
+                "spec_toml".to_string(),
+                JsonValue::Str(self.spec_toml.clone()),
+            ),
+            ("stats".to_string(), stats_obj),
+            (
+                "probes".to_string(),
+                JsonValue::Object(
+                    self.probes
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the canonical JSON form back. Strict by design: a schema-tag
+    /// mismatch, a missing/unknown statistics field, a malformed abort
+    /// reason or a `hash` field inconsistent with the embedded spec TOML
+    /// all fail — which is what lets the result store treat *any* parse
+    /// failure as "recompute", never "serve a misread record".
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        Self::from_value(&JsonValue::parse(input)?)
+    }
+
+    /// Like [`RunRecord::from_json`], over an already-parsed value (the
+    /// service protocol embeds records inside larger messages).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn from_value(v: &JsonValue) -> Result<Self, String> {
+        let top = v.as_object().ok_or("record is not a JSON object")?;
+        for (key, _) in top {
+            if !matches!(
+                key.as_str(),
+                "schema" | "hash" | "spec_toml" | "stats" | "probes"
+            ) {
+                return Err(format!("unknown record field '{key}'"));
+            }
+        }
+        match v.get("schema").and_then(JsonValue::as_str) {
+            Some(s) if s == RESULT_SCHEMA => {}
+            Some(s) => return Err(format!("record schema '{s}' != '{RESULT_SCHEMA}'")),
+            None => return Err("missing string field 'schema'".to_string()),
+        }
+        let spec_toml = v
+            .get("spec_toml")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field 'spec_toml'")?
+            .to_string();
+        let claimed = v
+            .get("hash")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field 'hash'")?;
+        let actual = hash_hex(content_hash64(spec_toml.as_bytes()));
+        if claimed != actual {
+            return Err(format!(
+                "hash field '{claimed}' does not match the embedded spec ('{actual}')"
+            ));
+        }
+
+        let stats_v = v.get("stats").ok_or("missing object field 'stats'")?;
+        let stats_obj = stats_v.as_object().ok_or("'stats' is not an object")?;
+        let mut stats = RunStats::new();
+        for (key, value) in stats_obj {
+            match key.as_str() {
+                "aborts" => {
+                    let pairs = value.as_object().ok_or("'aborts' is not an object")?;
+                    for (name, count) in pairs {
+                        let reason = abort_reason_from_name(name)
+                            .ok_or_else(|| format!("unknown abort reason '{name}'"))?;
+                        let n = count
+                            .as_u64()
+                            .ok_or_else(|| format!("abort count '{name}' is not an integer"))?;
+                        stats.aborts.insert(reason, n);
+                    }
+                }
+                "recovery" => {
+                    let pairs = value.as_object().ok_or("'recovery' is not an object")?;
+                    for (name, count) in pairs {
+                        if !RECOVERY_FIELDS.contains(&name.as_str()) {
+                            return Err(format!("unknown recovery field '{name}'"));
+                        }
+                        let n = count
+                            .as_u64()
+                            .ok_or_else(|| format!("recovery field '{name}' is not an integer"))?;
+                        set_recovery_field(&mut stats.recovery, name, n);
+                    }
+                    for &f in RECOVERY_FIELDS {
+                        if value.get(f).is_none() {
+                            return Err(format!("missing recovery field '{f}'"));
+                        }
+                    }
+                }
+                name if STAT_FIELDS.contains(&name) => {
+                    let n = value
+                        .as_u64()
+                        .ok_or_else(|| format!("stat field '{name}' is not an integer"))?;
+                    set_stat_field(&mut stats, name, n);
+                }
+                other => return Err(format!("unknown stat field '{other}'")),
+            }
+        }
+        for &f in STAT_FIELDS {
+            if stats_v.get(f).is_none() {
+                return Err(format!("missing stat field '{f}'"));
+            }
+        }
+        if stats_v.get("recovery").is_none() {
+            return Err("missing stat field 'recovery'".to_string());
+        }
+
+        let probes_v = v.get("probes").ok_or("missing object field 'probes'")?;
+        let probes = probes_v
+            .as_object()
+            .ok_or("'probes' is not an object")?
+            .iter()
+            .map(|(k, pv)| {
+                pv.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("probe '{k}' is not an integer"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(RunRecord {
+            spec_toml,
+            stats,
+            probes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtm_types::config::BaseConfig;
+    use dhtm_types::policy::DesignKind;
+
+    fn sample_record() -> (SimSpec, RunRecord) {
+        let spec = SimSpec::builder(DesignKind::Dhtm, "hash")
+            .base(BaseConfig::Small)
+            .commits(6)
+            .seed(3)
+            .build()
+            .unwrap();
+        let (result, reg) = spec.resolve().unwrap().run_probed(None);
+        let record = RunRecord::from_run(&spec, &result.stats, &reg);
+        (spec, record)
+    }
+
+    #[test]
+    fn record_round_trips_bit_for_bit() {
+        let (spec, record) = sample_record();
+        assert_eq!(record.content_hash(), spec.content_hash());
+        assert_eq!(record.content_hash_hex(), spec.content_hash_hex());
+        let json = record.to_json();
+        let back = RunRecord::from_json(&json).unwrap();
+        assert_eq!(back, record);
+        // Canonical: the re-rendered form is byte-identical.
+        assert_eq!(back.to_json(), json);
+        assert!(json.contains("\"schema\":\"dhtm-result-v1\""));
+    }
+
+    #[test]
+    fn identical_runs_render_identical_records() {
+        let (_, a) = sample_record();
+        let (_, b) = sample_record();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn strict_parse_rejects_drifted_records() {
+        let (_, record) = sample_record();
+        let json = record.to_json();
+        // Unknown stat field.
+        let extra = json.replacen("\"committed\":", "\"committed_v2\":", 1);
+        assert!(RunRecord::from_json(&extra).is_err());
+        // Missing stat field (drop "steps" by renaming it away is covered
+        // above; drop the whole stats object).
+        let no_stats = json.replacen("\"stats\":", "\"statz\":", 1);
+        assert!(RunRecord::from_json(&no_stats).is_err());
+        // Wrong schema tag.
+        let wrong = json.replacen("dhtm-result-v1", "dhtm-result-v0", 1);
+        assert!(RunRecord::from_json(&wrong).is_err());
+        // Hash inconsistent with the embedded spec.
+        let hex = record.content_hash_hex();
+        let lead = if hex.starts_with('0') { '1' } else { '0' };
+        let flipped = json.replacen(&hex, &format!("{lead}{}", &hex[1..]), 1);
+        assert!(RunRecord::from_json(&flipped)
+            .unwrap_err()
+            .contains("does not match"));
+        // Not JSON at all.
+        assert!(RunRecord::from_json("").is_err());
+        assert!(RunRecord::from_json("{\"schema\"").is_err());
+    }
+
+    #[test]
+    fn abort_reasons_survive_the_name_round_trip() {
+        let (spec, mut record) = sample_record();
+        for r in AbortReason::ALL {
+            record.stats.aborts.insert(r, 7 + r.index() as u64);
+        }
+        let back = RunRecord::from_json(&record.to_json()).unwrap();
+        assert_eq!(back.stats.aborts, record.stats.aborts);
+        assert_eq!(back.content_hash(), spec.content_hash());
+        // An unknown reason name fails the parse.
+        let bad = record.to_json().replacen("conflict", "cosmic-ray", 1);
+        assert!(RunRecord::from_json(&bad).is_err());
+    }
+}

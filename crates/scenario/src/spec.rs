@@ -109,6 +109,14 @@ impl SimSpec {
         content_hash64(self.to_toml().as_bytes())
     }
 
+    /// The canonical text form of [`SimSpec::content_hash`]: zero-padded
+    /// 16-character lowercase hex ([`dhtm_types::seed::hash_hex`]). This is
+    /// the form used everywhere a hash is printed, used as a result-store
+    /// filename or sent over the service wire protocol.
+    pub fn content_hash_hex(&self) -> String {
+        dhtm_types::seed::hash_hex(self.content_hash())
+    }
+
     /// Validates the spec: the engine must be registered, the workload
     /// known, the resolved config internally consistent and the limits
     /// positive.
@@ -440,5 +448,19 @@ mod tests {
             assert_ne!(v.content_hash(), base.content_hash(), "{v:?}");
         }
         assert_eq!(base.clone().content_hash(), base.content_hash());
+    }
+
+    #[test]
+    fn content_hash_hex_matches_the_canonical_formatter() {
+        let spec = SimSpec::builder(DesignKind::Dhtm, "hash")
+            .base(BaseConfig::Small)
+            .build_unchecked();
+        let hex = spec.content_hash_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(hex, dhtm_types::seed::hash_hex(spec.content_hash()));
+        assert_eq!(
+            dhtm_types::seed::parse_hash_hex(&hex),
+            Some(spec.content_hash())
+        );
     }
 }

@@ -1,0 +1,93 @@
+//! `dhtm_serve` — the simulation job server.
+//!
+//! ```text
+//! dhtm_serve [--addr HOST:PORT] [--store DIR] [--workers N]
+//!            [--port-file PATH] [--quiet]
+//! ```
+//!
+//! Binds `--addr` (default `127.0.0.1:0`, i.e. an ephemeral port), prints
+//! the bound address on stdout as `listening <addr>`, optionally writes
+//! it to `--port-file` (for scripts/CI to discover an ephemeral port),
+//! then serves dhtm-svc-v1 until a client sends `shutdown`. On clean
+//! shutdown the final `svc/…` service counters are printed as probes.
+
+use std::process::ExitCode;
+
+use dhtm_obs::profile::render_flat;
+use dhtm_service::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dhtm_serve [--addr HOST:PORT] [--store DIR] [--workers N] \
+         [--port-file PATH] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut store_dir = std::path::PathBuf::from("dhtm-results");
+    let mut workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut port_file: Option<std::path::PathBuf> = None;
+    let mut verbose = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_for(flag));
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--store" => store_dir = value("--store").into(),
+            "--workers" => {
+                workers = value("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("dhtm_serve: --workers takes a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--port-file" => port_file = Some(value("--port-file").into()),
+            "--quiet" => verbose = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("dhtm_serve: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let mut config = ServerConfig::new(store_dir, workers);
+    config.verbose = verbose;
+    let server = match Server::bind(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dhtm_serve: could not bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let bound = server.local_addr();
+    println!("listening {bound}");
+    if let Some(path) = port_file {
+        // Written whole so pollers never observe a partial address.
+        if let Err(e) = std::fs::write(&path, format!("{bound}\n")) {
+            eprintln!("dhtm_serve: could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match server.run() {
+        Ok(registry) => {
+            for line in render_flat(&registry.flatten()) {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dhtm_serve: server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_for(flag: &str) -> ! {
+    eprintln!("dhtm_serve: {flag} requires a value");
+    std::process::exit(2);
+}

@@ -1,0 +1,280 @@
+//! Client side of the dhtm-svc-v1 protocol: a blocking connection that
+//! submits spec batches, streams the server's per-job events, and
+//! collects per-index results.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dhtm_scenario::{RunRecord, SimSpec};
+
+use crate::proto::{
+    decode_event, encode_request, read_frame, write_frame, Disposition, Event, ProtoError, Request,
+    StatusReport,
+};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The server answered with an `error` event.
+    Server(String),
+    /// The server's event stream violated the batch protocol (e.g. ended
+    /// before every submitted index had a terminal event).
+    Stream(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Proto(e) => write!(f, "protocol error: {e}"),
+            ServiceError::Server(msg) => write!(f, "server error: {msg}"),
+            ServiceError::Stream(msg) => write!(f, "stream error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ProtoError> for ServiceError {
+    fn from(e: ProtoError) -> Self {
+        ServiceError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// One submitted spec's result: its position in the batch, how the server
+/// classified it, whether it was served from a completed cache layer, and
+/// the full record.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Index into the submitted batch.
+    pub index: u64,
+    /// 16-hex content hash of the spec.
+    pub hash_hex: String,
+    /// How the server classified this spec on arrival.
+    pub disposition: Disposition,
+    /// True when the result came from the disk store or in-memory table
+    /// without triggering an execution.
+    pub cached: bool,
+    /// The full result record (canonical spec TOML + stats + probes).
+    pub record: RunRecord,
+}
+
+/// Everything the server reported for one batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-spec results, ordered by batch index (complete on success).
+    pub results: Vec<JobResult>,
+    /// Specs in the batch (the server's count).
+    pub specs: u64,
+    /// Distinct content hashes in the batch.
+    pub unique: u64,
+    /// Specs that repeated an earlier hash within the batch.
+    pub duplicates: u64,
+    /// Unique specs served from the store or in-memory table.
+    pub cache_hits: u64,
+    /// Unique specs this batch caused to execute.
+    pub executed: u64,
+}
+
+/// A blocking connection to a `dhtm_serve` instance.
+#[derive(Debug)]
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServiceClient {
+    /// Connects to `addr` (any `ToSocketAddrs`, e.g. `"127.0.0.1:7421"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<ServiceClient> {
+        let stream = TcpStream::connect(addr)?;
+        // A generous ceiling so a wedged server surfaces as an error
+        // instead of an indefinite hang.
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        Ok(ServiceClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ServiceError> {
+        write_frame(&mut self.writer, &encode_request(request))?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv_event(&mut self) -> Result<Event, ServiceError> {
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Ok(decode_event(&payload)?),
+            None => Err(ServiceError::Stream(
+                "server closed the connection mid-reply".to_string(),
+            )),
+        }
+    }
+
+    /// Submits a batch and blocks until every spec has a terminal event.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, an `error`/`failed` event, or a stream
+    /// that ends with indices unresolved.
+    pub fn submit(
+        &mut self,
+        batch: u64,
+        specs: Vec<SimSpec>,
+    ) -> Result<BatchOutcome, ServiceError> {
+        self.submit_streaming(batch, specs, |_| {})
+    }
+
+    /// [`ServiceClient::submit`], invoking `on_event` for every event
+    /// frame (including progress `begin`/`window` frames) as it arrives.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServiceClient::submit`].
+    pub fn submit_streaming(
+        &mut self,
+        batch: u64,
+        specs: Vec<SimSpec>,
+        mut on_event: impl FnMut(&Event),
+    ) -> Result<BatchOutcome, ServiceError> {
+        let expected = specs.len() as u64;
+        self.send(&Request::Submit { batch, specs })?;
+        // BTreeMap so results come back ordered by batch index.
+        let mut dispositions: BTreeMap<u64, (String, Disposition)> = BTreeMap::new();
+        let mut results: BTreeMap<u64, JobResult> = BTreeMap::new();
+        loop {
+            let ev = self.recv_event()?;
+            on_event(&ev);
+            match ev {
+                Event::Job {
+                    index,
+                    hash_hex,
+                    disposition,
+                    ..
+                } => {
+                    dispositions.insert(index, (hash_hex, disposition));
+                }
+                Event::Begin { .. } | Event::Window { .. } => {}
+                Event::Done {
+                    index,
+                    hash_hex,
+                    cached,
+                    record,
+                    ..
+                } => {
+                    let disposition =
+                        dispositions.get(&index).map(|(_, d)| *d).ok_or_else(|| {
+                            ServiceError::Stream(format!("done for unannounced index {index}"))
+                        })?;
+                    results.insert(
+                        index,
+                        JobResult {
+                            index,
+                            hash_hex,
+                            disposition,
+                            cached,
+                            record: *record,
+                        },
+                    );
+                }
+                Event::Failed { index, error, .. } => {
+                    return Err(ServiceError::Server(format!("job {index} failed: {error}")));
+                }
+                Event::BatchDone {
+                    specs,
+                    unique,
+                    duplicates,
+                    cache_hits,
+                    executed,
+                    ..
+                } => {
+                    if results.len() as u64 != expected {
+                        return Err(ServiceError::Stream(format!(
+                            "batch_done with {}/{expected} results",
+                            results.len()
+                        )));
+                    }
+                    return Ok(BatchOutcome {
+                        results: results.into_values().collect(),
+                        specs,
+                        unique,
+                        duplicates,
+                        cache_hits,
+                        executed,
+                    });
+                }
+                Event::Error { message } => return Err(ServiceError::Server(message)),
+                Event::StatusOk(_) | Event::ShutdownOk => {
+                    return Err(ServiceError::Stream(
+                        "unexpected control event during a batch".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected reply.
+    pub fn status(&mut self) -> Result<StatusReport, ServiceError> {
+        self.send(&Request::Status)?;
+        match self.recv_event()? {
+            Event::StatusOk(report) => Ok(report),
+            Event::Error { message } => Err(ServiceError::Server(message)),
+            other => Err(ServiceError::Stream(format!(
+                "expected status_ok, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches a stored result by 16-hex content hash, if the store holds
+    /// a verified record for it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors; a missing or unverifiable record comes
+    /// back as [`ServiceError::Server`].
+    pub fn result(&mut self, hash_hex: &str) -> Result<RunRecord, ServiceError> {
+        self.send(&Request::Result {
+            hash_hex: hash_hex.to_string(),
+        })?;
+        match self.recv_event()? {
+            Event::Done { record, .. } => Ok(*record),
+            Event::Error { message } => Err(ServiceError::Server(message)),
+            other => Err(ServiceError::Stream(format!(
+                "expected done, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain its queue and exit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected reply.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv_event()? {
+            Event::ShutdownOk => Ok(()),
+            Event::Error { message } => Err(ServiceError::Server(message)),
+            other => Err(ServiceError::Stream(format!(
+                "expected shutdown_ok, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The persistent, content-addressed result store: one file per spec
+//! hash, `<dir>/<16-hex-hash>.json`, holding the canonical
+//! [`RunRecord`] form.
+//!
+//! The store is the service's second dedup layer (after the in-memory job
+//! table) and the only one that survives a restart. Lookups are
+//! *verified*, not trusted: a hit parses the record under
+//! [`RunRecord::from_json`]'s strict rules and then compares the embedded
+//! canonical spec TOML byte-for-byte against the requesting spec. A
+//! 64-bit hash collision, a record written by a drifted code revision, a
+//! truncated write or hand-edited garbage all fail one of those checks
+//! and come back as [`LoadOutcome::Rejected`] — the server recomputes and
+//! overwrites, it never serves a misread result and never panics on a
+//! doctored store directory.
+//!
+//! Writes go through a temp file + rename in the same directory, so a
+//! crash mid-write leaves either the old record or none — not a torn one.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dhtm_scenario::{RunRecord, SimSpec};
+
+/// Handle to a store directory.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+/// What a verified lookup found.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// A verified record: parsed cleanly and its spec TOML is
+    /// byte-identical to the requesting spec's (boxed: it dwarfs the
+    /// other variants).
+    Hit(Box<RunRecord>),
+    /// No file for this hash.
+    Miss,
+    /// A file exists but failed verification; the message says why. The
+    /// caller should recompute (and overwrite).
+    Rejected(String),
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a given hash is stored under.
+    pub fn path_for(&self, hash_hex: &str) -> PathBuf {
+        self.dir.join(format!("{hash_hex}.json"))
+    }
+
+    /// Verified lookup for `spec` (see the module docs for what
+    /// "verified" rules out).
+    pub fn load(&self, spec: &SimSpec) -> LoadOutcome {
+        let path = self.path_for(&spec.content_hash_hex());
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Miss,
+            Err(e) => return LoadOutcome::Rejected(format!("unreadable {}: {e}", path.display())),
+        };
+        match RunRecord::from_json(&text) {
+            Ok(record) if record.spec_toml == spec.to_toml() => LoadOutcome::Hit(Box::new(record)),
+            Ok(_) => LoadOutcome::Rejected(format!(
+                "{}: stored spec differs from the requested spec (hash collision or stale key)",
+                path.display()
+            )),
+            Err(e) => LoadOutcome::Rejected(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Serves a raw record by hash (the `result` request): parsed and
+    /// hash-verified, but with no requesting spec to compare against.
+    pub fn load_by_hash(&self, hash_hex: &str) -> LoadOutcome {
+        let path = self.path_for(hash_hex);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Miss,
+            Err(e) => return LoadOutcome::Rejected(format!("unreadable {}: {e}", path.display())),
+        };
+        match RunRecord::from_json(&text) {
+            Ok(record) if record.content_hash_hex() == hash_hex => {
+                LoadOutcome::Hit(Box::new(record))
+            }
+            Ok(record) => LoadOutcome::Rejected(format!(
+                "{}: record hashes to {} not its filename",
+                path.display(),
+                record.content_hash_hex()
+            )),
+            Err(e) => LoadOutcome::Rejected(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Persists a record under its content hash (atomic: temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; the caller logs and carries on —
+    /// a failed save only costs a future recompute.
+    pub fn save(&self, record: &RunRecord) -> std::io::Result<()> {
+        let hash_hex = record.content_hash_hex();
+        let tmp = self
+            .dir
+            .join(format!(".{hash_hex}.tmp.{}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(record.to_json().as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path_for(&hash_hex))
+    }
+
+    /// Number of result files currently stored.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| {
+                        e.path().extension().is_some_and(|x| x == "json")
+                            && !e.file_name().to_string_lossy().starts_with('.')
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True when no results are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhtm_types::config::BaseConfig;
+    use dhtm_types::policy::DesignKind;
+
+    fn temp_store(name: &str) -> ResultStore {
+        let dir = std::env::temp_dir().join(format!("dhtm_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultStore::open(dir).unwrap()
+    }
+
+    fn record_for(seed: u64) -> (SimSpec, RunRecord) {
+        let spec = SimSpec::builder(DesignKind::Dhtm, "hash")
+            .base(BaseConfig::Small)
+            .commits(4)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let (result, reg) = spec.resolve().unwrap().run_probed(None);
+        let record = RunRecord::from_run(&spec, &result.stats, &reg);
+        (spec, record)
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let store = temp_store("store_roundtrip");
+        let (spec, record) = record_for(1);
+        assert!(matches!(store.load(&spec), LoadOutcome::Miss));
+        assert!(store.is_empty());
+        store.save(&record).unwrap();
+        assert_eq!(store.len(), 1);
+        match store.load(&spec) {
+            LoadOutcome::Hit(back) => {
+                assert_eq!(*back, record);
+                assert_eq!(back.to_json(), record.to_json());
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        match store.load_by_hash(&spec.content_hash_hex()) {
+            LoadOutcome::Hit(back) => assert_eq!(*back, record),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(
+            store.load_by_hash("0000000000000000"),
+            LoadOutcome::Miss
+        ));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_never_served() {
+        let store = temp_store("store_corrupt");
+        let (spec, record) = record_for(2);
+        store.save(&record).unwrap();
+        let path = store.path_for(&spec.content_hash_hex());
+
+        // Truncated mid-record.
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(store.load(&spec), LoadOutcome::Rejected(_)));
+
+        // Outright garbage.
+        fs::write(&path, "not json {{{").unwrap();
+        assert!(matches!(store.load(&spec), LoadOutcome::Rejected(_)));
+        assert!(matches!(
+            store.load_by_hash(&spec.content_hash_hex()),
+            LoadOutcome::Rejected(_)
+        ));
+
+        // A valid record filed under the wrong hash (simulated collision /
+        // stale key): parses fine, fails the spec comparison.
+        let (other_spec, other_record) = record_for(3);
+        assert_ne!(other_spec.content_hash(), spec.content_hash());
+        fs::write(&path, other_record.to_json()).unwrap();
+        match store.load(&spec) {
+            LoadOutcome::Rejected(msg) => assert!(msg.contains("differs"), "{msg}"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(matches!(
+            store.load_by_hash(&spec.content_hash_hex()),
+            LoadOutcome::Rejected(_)
+        ));
+
+        // Overwriting with a fresh save heals the entry.
+        store.save(&record).unwrap();
+        assert!(matches!(store.load(&spec), LoadOutcome::Hit(_)));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn temp_files_do_not_count_as_entries() {
+        let store = temp_store("store_tmpfiles");
+        fs::write(store.dir().join(".deadbeef.tmp.1"), "partial").unwrap();
+        fs::write(store.dir().join("README"), "not a record").unwrap();
+        assert_eq!(store.len(), 0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,102 @@
+//! Result-store corruption drills, end to end: doctor the store directory
+//! between server runs and check that every flavour of damage —
+//! truncation, garbage, a record filed under the wrong hash — is
+//! recomputed with a warning, never served and never a panic.
+
+use dhtm_scenario::SimSpec;
+use dhtm_service::{LoadOutcome, ResultStore, Server, ServerConfig, ServiceClient};
+use dhtm_types::config::BaseConfig;
+use dhtm_types::policy::DesignKind;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dhtm_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn specs() -> Vec<SimSpec> {
+    (0..3)
+        .map(|i| {
+            SimSpec::builder(DesignKind::Dhtm, "queue")
+                .base(BaseConfig::Small)
+                .commits(5)
+                .seed(40 + i)
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn doctored_store_entries_are_recomputed_not_served() {
+    let store_dir = temp_dir("corrupt_e2e");
+    let specs = specs();
+
+    // Cold run to populate the store.
+    let handle = Server::bind("127.0.0.1:0", ServerConfig::new(&store_dir, 2))
+        .unwrap()
+        .spawn();
+    let mut client = ServiceClient::connect(handle.addr).unwrap();
+    let cold = client.submit(1, specs.clone()).unwrap();
+    assert_eq!(cold.executed, 3);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Doctor the store: truncate one record, garbage a second, and file a
+    // wrong-spec record under the third's hash (stale-key simulation).
+    let store = ResultStore::open(&store_dir).unwrap();
+    let paths: Vec<_> = specs
+        .iter()
+        .map(|s| store.path_for(&s.content_hash_hex()))
+        .collect();
+    let full = std::fs::read_to_string(&paths[0]).unwrap();
+    std::fs::write(&paths[0], &full[..full.len() / 3]).unwrap();
+    std::fs::write(&paths[1], "}{ definitely not a record").unwrap();
+    std::fs::write(&paths[2], cold.results[1].record.to_json()).unwrap();
+
+    // Every doctored entry must be rejected at the store layer.
+    for spec in &specs {
+        assert!(
+            matches!(store.load(spec), LoadOutcome::Rejected(_)),
+            "doctored entry for {} should be rejected",
+            spec.content_hash_hex()
+        );
+    }
+
+    // A fresh server over the doctored store recomputes all three and
+    // serves results byte-identical to the cold run.
+    let handle = Server::bind("127.0.0.1:0", ServerConfig::new(&store_dir, 2))
+        .unwrap()
+        .spawn();
+    let mut client = ServiceClient::connect(handle.addr).unwrap();
+    let healed = client.submit(2, specs.clone()).unwrap();
+    assert_eq!(
+        healed.executed, 3,
+        "all corrupted entries must be recomputed"
+    );
+    assert_eq!(healed.cache_hits, 0);
+    for (c, h) in cold.results.iter().zip(&healed.results) {
+        assert!(!h.cached);
+        assert_eq!(
+            c.record.to_json(),
+            h.record.to_json(),
+            "recomputed result must match the original cold run"
+        );
+    }
+
+    // The recompute overwrote the damage: a third pass is all disk hits.
+    let status = client.status().unwrap();
+    assert_eq!(status.store_rejects, 3);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    let handle = Server::bind("127.0.0.1:0", ServerConfig::new(&store_dir, 2))
+        .unwrap()
+        .spawn();
+    let mut client = ServiceClient::connect(handle.addr).unwrap();
+    let warm = client.submit(3, specs).unwrap();
+    assert_eq!(warm.executed, 0, "healed store serves from disk again");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -37,6 +37,28 @@ pub fn content_hash64(bytes: &[u8]) -> u64 {
     finalise(h)
 }
 
+/// Canonical text form of a 64-bit content hash: zero-padded 16-character
+/// lowercase hex. Every place a spec hash is printed, sent over the wire or
+/// used as a filename uses this one formatter, so hashes grep/sort/compare
+/// as fixed-width strings (`1f3a…` never collides with `01f3a…` the way
+/// bare `{:x}` output can).
+pub fn hash_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// Parses the [`hash_hex`] form back to the 64-bit hash. Strict: exactly 16
+/// lowercase hex digits, no prefix, no whitespace.
+pub fn parse_hash_hex(s: &str) -> Option<u64> {
+    if s.len() != 16
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 /// splitmix64 finaliser spreading the FNV state over all 64 bits.
 fn finalise(h: u64) -> u64 {
     let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -67,6 +89,24 @@ mod tests {
             stable_cell_seed(1, "hash", 4),
             stable_cell_seed(1, "hash", 4)
         );
+    }
+
+    #[test]
+    fn hash_hex_is_fixed_width_lowercase_and_round_trips() {
+        assert_eq!(hash_hex(0), "0000000000000000");
+        assert_eq!(hash_hex(0x1f3a), "0000000000001f3a");
+        assert_eq!(hash_hex(u64::MAX), "ffffffffffffffff");
+        for h in [0u64, 1, 0xDEAD_BEEF, u64::MAX, content_hash64(b"spec")] {
+            let hex = hash_hex(h);
+            assert_eq!(hex.len(), 16);
+            assert_eq!(parse_hash_hex(&hex), Some(h));
+        }
+        // Strictness: width, case, prefixes and whitespace all rejected.
+        assert_eq!(parse_hash_hex("1f3a"), None);
+        assert_eq!(parse_hash_hex("0000000000001F3A"), None);
+        assert_eq!(parse_hash_hex("0x00000000000000"), None);
+        assert_eq!(parse_hash_hex(" 0000000000001f3a"), None);
+        assert_eq!(parse_hash_hex("00000000000000000"), None);
     }
 
     #[test]
