@@ -1,0 +1,69 @@
+#![forbid(unsafe_code)]
+//! Fixture crate judged under the Deterministic tier: one violation per
+//! determinism rule, each next to an accepted twin (allowlisted,
+//! suppressed-with-reason, or simply legal). Never compiled — the lexer
+//! and rules read it as text.
+
+use std::collections::HashMap;
+
+// float-in-det: violation (f64 in a deterministic-tier item).
+pub fn average(samples: &[u64]) -> f64 {
+    samples.iter().sum::<u64>() as f64 / samples.len() as f64
+}
+
+// float-in-det: accepted twin — `Report::ratio` is allowlisted by the
+// fixture config.
+pub struct Report;
+
+impl Report {
+    pub fn ratio(hits: u64, total: u64) -> f64 {
+        hits as f64 / total.max(1) as f64
+    }
+}
+
+// unordered-iter: violation (iteration order escapes).
+pub fn sum_values(m: &HashMap<u32, u64>) -> u64 {
+    let mut acc = 0;
+    for v in m.values() {
+        acc += v;
+    }
+    acc
+}
+
+// unordered-iter: accepted twin — membership lookup is legal.
+pub fn contains(m: &HashMap<u32, u64>, k: u32) -> bool {
+    m.contains_key(&k)
+}
+
+// unordered-iter: suppressed twin — reasoned inline allow.
+pub fn clear_zeroes(m: &mut HashMap<u32, u64>) {
+    // lint: allow(unordered-iter, reason = "pure predicate; iteration order cannot be observed")
+    m.retain(|_, v| *v != 0);
+}
+
+// wall-clock: violation.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+// bad-suppression: a reason-less allow is itself a finding, and does NOT
+// suppress the unordered-iter violation underneath it.
+pub fn sneaky(m: &HashMap<u32, u64>) -> u64 {
+    // lint: allow(unordered-iter)
+    m.values().sum()
+}
+
+// bad-suppression: naming an unknown rule.
+pub fn misspelled() {
+    // lint: allow(float-everywhere, reason = "no such rule")
+}
+
+// Test code is exempt from every determinism rule.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_are_fine_in_tests() {
+        let x: f64 = 0.5;
+        assert!(x < 1.0);
+    }
+}

@@ -1,0 +1,64 @@
+#![forbid(unsafe_code)]
+//! Fixture crate with a declared lock hierarchy (`outer` → `inner`):
+//! lock-order and lock-blocking violations next to accepted twins.
+//! Never compiled — the lock checker reads it as text.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct S {
+    pub outer: Mutex<u32>,
+    pub inner: Mutex<u32>,
+    pub stray: Mutex<u32>,
+}
+
+impl S {
+    // lock-order: accepted twin — nesting in declared order.
+    pub fn in_order(&self) -> u32 {
+        let a = self.outer.lock().unwrap();
+        let b = self.inner.lock().unwrap();
+        *a + *b
+    }
+
+    // lock-order: violation — `outer` acquired while `inner` is held.
+    pub fn out_of_order(&self) -> u32 {
+        let b = self.inner.lock().unwrap();
+        let a = self.outer.lock().unwrap();
+        *a + *b
+    }
+
+    // lock-order: violation — `stray` is not in the declared hierarchy, so
+    // nesting it under anything flags.
+    pub fn undeclared_nesting(&self) -> u32 {
+        let a = self.outer.lock().unwrap();
+        let s = self.stray.lock().unwrap();
+        *a + *s
+    }
+
+    // lock-blocking: violation — channel send while `outer` is held.
+    pub fn notify(&self, tx: &Sender<u32>) {
+        let g = self.outer.lock().unwrap();
+        let _ = tx.send(*g);
+    }
+
+    // lock-blocking: accepted twin — the guard dies with its inner block
+    // before the send.
+    pub fn notify_unlocked(&self, tx: &Sender<u32>) {
+        let v = {
+            let g = self.outer.lock().unwrap();
+            *g
+        };
+        let _ = tx.send(v);
+    }
+
+    // lock-order via call summary: violation — `take_inner` acquires
+    // `inner`; calling it while already holding `inner` self-deadlocks.
+    pub fn reentrant(&self) -> u32 {
+        let g = self.inner.lock().unwrap();
+        *g + self.take_inner()
+    }
+
+    fn take_inner(&self) -> u32 {
+        *self.inner.lock().unwrap()
+    }
+}

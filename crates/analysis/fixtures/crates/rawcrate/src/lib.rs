@@ -1,0 +1,4 @@
+//! Fixture crate root *missing* `#![forbid(unsafe_code)]` — the
+//! forbid-unsafe rule flags exactly this. Never compiled.
+
+pub fn noop() {}

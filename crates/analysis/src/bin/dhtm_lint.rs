@@ -1,0 +1,96 @@
+//! Workspace determinism & concurrency lint, CI-gated.
+//!
+//! ```text
+//! dhtm_lint [--root DIR] [--json FILE] [--deny] [--list-rules]
+//! ```
+//!
+//! Scans every configured crate's `src/` tree under the workspace root
+//! (auto-discovered from the current directory when `--root` is absent),
+//! prints findings as `file:line rule-id message`, optionally writes the
+//! canonical `dhtm-lint-v1` JSON report, and with `--deny` exits nonzero
+//! when any finding survives the allowlist and reasoned suppressions.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dhtm_analysis::config::{rules, Config};
+use dhtm_analysis::{analyze_workspace, find_workspace_root};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a file path"),
+            },
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for rule in rules::ALL {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("dhtm_lint: no workspace root found (pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = Config::workspace();
+    let report = match analyze_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dhtm_lint: analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", report.render_text());
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("dhtm_lint: could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("dhtm_lint: JSON report written to {}", path.display());
+    }
+
+    if deny && !report.findings.is_empty() {
+        eprintln!(
+            "dhtm_lint: --deny: {} finding(s) block this tree",
+            report.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("dhtm_lint: {err}");
+    }
+    eprintln!("usage: dhtm_lint [--root DIR] [--json FILE] [--deny] [--list-rules]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,90 @@
+//! The finding sink: every rule funnels candidate findings through
+//! [`Sink::emit`], which applies the three acceptance layers in order —
+//! test-code exemption, the committed allowlist, then reasoned inline
+//! suppressions — before anything lands in the report.
+
+use crate::config::{rules, Config};
+use crate::lexer::Suppression;
+use crate::report::{Finding, Report, Suppressed};
+use crate::scope::Scopes;
+
+/// Per-file emission context.
+pub struct Sink<'a> {
+    /// The committed configuration.
+    pub cfg: &'a Config,
+    /// Workspace-relative path of the file under analysis.
+    pub rel_path: &'a str,
+    /// Item/test annotations for the file's tokens.
+    pub scopes: &'a Scopes,
+    /// Inline suppressions found in the file.
+    pub suppressions: &'a [Suppression],
+    /// The report being accumulated.
+    pub report: &'a mut Report,
+}
+
+impl Sink<'_> {
+    /// Validates the file's suppressions up front: a reason-less
+    /// suppression or one naming an unknown rule is itself a finding (and
+    /// is never honoured).
+    pub fn check_suppressions(&mut self) {
+        for s in self.suppressions {
+            if !rules::ALL.contains(&s.rule.as_str()) {
+                self.report.findings.push(Finding {
+                    file: self.rel_path.to_string(),
+                    line: s.comment_line,
+                    rule: rules::BAD_SUPPRESSION,
+                    item: String::new(),
+                    message: format!(
+                        "suppression names unknown rule `{}` (known: {})",
+                        s.rule,
+                        rules::ALL.join(", ")
+                    ),
+                });
+            } else if s.reason.is_none() {
+                self.report.findings.push(Finding {
+                    file: self.rel_path.to_string(),
+                    line: s.comment_line,
+                    rule: rules::BAD_SUPPRESSION,
+                    item: String::new(),
+                    message: format!(
+                        "suppression of `{}` has no reason; write `// lint: allow({}, reason = \"…\")`",
+                        s.rule, s.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Emits a candidate finding for `rule` at `line`, anchored at token
+    /// index `tok_idx` (for item-path and test-code resolution).
+    pub fn emit(&mut self, rule: &'static str, line: u32, tok_idx: usize, message: String) {
+        if self.scopes.in_test(tok_idx) {
+            return;
+        }
+        let item = self.scopes.item_path(tok_idx);
+        if self.cfg.allow_for(self.rel_path, item, rule).is_some() {
+            self.report.allowed += 1;
+            return;
+        }
+        if let Some(s) = self
+            .suppressions
+            .iter()
+            .find(|s| s.target_line == line && s.rule == rule && s.reason.is_some())
+        {
+            self.report.suppressed.push(Suppressed {
+                file: self.rel_path.to_string(),
+                line,
+                rule,
+                reason: s.reason.clone().expect("filtered on Some"),
+            });
+            return;
+        }
+        self.report.findings.push(Finding {
+            file: self.rel_path.to_string(),
+            line,
+            rule,
+            item: item.to_string(),
+            message,
+        });
+    }
+}

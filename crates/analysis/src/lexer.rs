@@ -1,0 +1,491 @@
+//! A hand-rolled Rust lexer, complete enough to judge the workspace's own
+//! sources at the token level.
+//!
+//! The rules downstream only need identifiers, literals and single-character
+//! punctuation with accurate line numbers — but getting *those* right
+//! requires handling everything that can hide them: line and (nested) block
+//! comments, normal/raw/byte string literals with arbitrary `#` fences,
+//! escape sequences, and the `'a` lifetime vs `'a'` char-literal ambiguity.
+//! Comments are not emitted as tokens; line comments are scanned for the
+//! inline suppression syntax (`// lint: allow(<rule>, reason = "…")`) and
+//! surfaced separately so rules can consult them by line.
+
+/// The kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A string literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// An integer literal (any base, with suffix if present).
+    Int,
+    /// A floating-point literal (`1.0`, `2e8`, `1.5f64`).
+    Float,
+    /// A single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One token with its kind, source text and 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token's source text (for `Str`, includes the quotes/fences).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this is an identifier with exactly the text `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// An inline suppression parsed from a `// lint: allow(…)` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule id inside `allow(…)` (not yet validated against the
+    /// catalogue — rules do that, so an unknown id is itself a finding).
+    pub rule: String,
+    /// The mandatory reason, when present.
+    pub reason: Option<String>,
+    /// The line the suppression applies to: the comment's own line when the
+    /// comment trails code, the following line when it stands alone.
+    pub target_line: u32,
+    /// The line the comment itself sits on (for reporting).
+    pub comment_line: u32,
+}
+
+/// The output of lexing one file: the token stream plus any inline
+/// suppressions found in its comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// All `// lint: allow(…)` suppressions, in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lexes `source` into tokens and suppressions.
+///
+/// The lexer is total: unrecognised bytes are skipped rather than failing,
+/// so a file that rustc rejects still produces a best-effort stream (the
+/// lint runs on sources that are already compiling in CI, so in practice
+/// this path never triggers).
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_string_ahead(1) => self.raw_string(1),
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                    self.raw_string(2);
+                }
+                b'b' if self.peek(1) == Some(b'"') => self.string(1),
+                b'b' if self.peek(1) == Some(b'\'') => self.char_literal(1),
+                b'"' => self.string(0),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                c if ident_start(c) => self.ident(),
+                _ => {
+                    self.push(TokKind::Punct, (c as char).to_string());
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String) {
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line: self.line,
+        });
+    }
+
+    /// Consumes a `//` comment to end of line, harvesting suppressions.
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+        // A comment that trails code suppresses its own line; a standalone
+        // comment suppresses the line below it.
+        let standalone = self.out.tokens.last().is_none_or(|t| t.line != self.line);
+        if let Some(mut sup) = parse_suppression(text) {
+            sup.comment_line = self.line;
+            sup.target_line = if standalone { self.line + 1 } else { self.line };
+            self.out.suppressions.push(sup);
+        }
+    }
+
+    /// Consumes a `/* … */` comment, honouring nesting.
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match self.src[self.pos] {
+                b'\n' => self.line += 1,
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Is `r#*"` (a raw-string opener) at offset `ahead` from `pos`?
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = self.pos + ahead;
+        while self.src.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.src.get(i) == Some(&b'"')
+    }
+
+    /// Consumes `r##"…"##` (or byte-raw) with any fence width. `prefix` is
+    /// the length of the `r`/`br` introducer.
+    fn raw_string(&mut self, prefix: usize) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += prefix;
+        let mut fences = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fences += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'"') => {
+                    // Close only when followed by the full fence.
+                    let closes = (1..=fences).all(|i| self.peek(i) == Some(b'#'));
+                    self.pos += 1;
+                    if closes {
+                        self.pos += fences;
+                        break;
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.tokens.push(Tok {
+            kind: TokKind::Str,
+            text,
+            line: start_line,
+        });
+    }
+
+    /// Consumes a normal (or byte) string literal with escapes.
+    fn string(&mut self, prefix: usize) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += prefix + 1; // introducer + opening quote
+        while let Some(c) = self.peek(0) {
+            self.pos += 1;
+            match c {
+                b'\\' => self.pos += 1, // skip the escaped byte
+                b'\n' => self.line += 1,
+                b'"' => break,
+                _ => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.tokens.push(Tok {
+            kind: TokKind::Str,
+            text,
+            line: start_line,
+        });
+    }
+
+    /// Consumes a `b'…'` byte literal (prefix already sighted).
+    fn char_literal(&mut self, prefix: usize) {
+        let start = self.pos;
+        self.pos += prefix + 1;
+        while let Some(c) = self.peek(0) {
+            self.pos += 1;
+            match c {
+                b'\\' => self.pos += 1,
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Char, text);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) from `'\n'` (char).
+    fn quote(&mut self) {
+        // An escape or a non-identifier character after the quote means a
+        // char literal; an identifier is a lifetime unless a closing quote
+        // immediately follows it (`'a'`).
+        match self.peek(1) {
+            Some(c) if ident_start(c) => {
+                let mut end = self.pos + 2;
+                while self.src.get(end).copied().is_some_and(ident_continue) {
+                    end += 1;
+                }
+                if self.src.get(end) == Some(&b'\'') {
+                    let text = String::from_utf8_lossy(&self.src[self.pos..=end]).into_owned();
+                    self.push(TokKind::Char, text);
+                    self.pos = end + 1;
+                } else {
+                    let text = String::from_utf8_lossy(&self.src[self.pos..end]).into_owned();
+                    self.push(TokKind::Lifetime, text);
+                    self.pos = end;
+                }
+            }
+            _ => self.char_literal(0),
+        }
+    }
+
+    /// Consumes a numeric literal, classifying int vs float.
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.pos += 1;
+            }
+            // A fractional part — but not `1..2` (range) or `1.method()`.
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.pos += 1;
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+            // An exponent.
+            if matches!(self.peek(0), Some(b'e' | b'E'))
+                && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                    || (matches!(self.peek(1), Some(b'+' | b'-'))
+                        && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+            {
+                is_float = true;
+                self.pos += 1;
+                if matches!(self.peek(0), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+            // A type suffix (`1.0f64`, `1u32`): floats keep their kind, an
+            // `f32`/`f64` suffix promotes an integer literal to float.
+            if self.peek(0).is_some_and(ident_start) {
+                let suffix_start = self.pos;
+                while self.peek(0).is_some_and(ident_continue) {
+                    self.pos += 1;
+                }
+                let suffix = &self.src[suffix_start..self.pos];
+                if suffix == b"f32" || suffix == b"f64" {
+                    is_float = true;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(
+            if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            },
+            text,
+        );
+    }
+
+    /// Consumes an identifier or keyword (including `r#raw` identifiers).
+    fn ident(&mut self) {
+        let start = self.pos;
+        if self.peek(0) == Some(b'r') && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        while self.peek(0).is_some_and(ident_continue) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text);
+    }
+}
+
+fn ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Parses `lint: allow(<rule>)` / `lint: allow(<rule>, reason = "…")` out
+/// of a line comment's text. Returns `None` when the comment is not a
+/// suppression at all; a suppression with `reason: None` is returned so the
+/// rules can flag it as reason-less.
+fn parse_suppression(comment: &str) -> Option<Suppression> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let inside = &rest[..close];
+    let (rule, reason) = match inside.split_once(',') {
+        None => (inside.trim(), None),
+        Some((rule, tail)) => {
+            let tail = tail.trim();
+            let reason = tail
+                .strip_prefix("reason")
+                .map(|t| t.trim_start())
+                .and_then(|t| t.strip_prefix('='))
+                .map(|t| t.trim())
+                .and_then(|t| t.strip_prefix('"'))
+                .and_then(|t| t.strip_suffix('"'))
+                .filter(|t| !t.trim().is_empty())
+                .map(str::to_string);
+            (rule.trim(), reason)
+        }
+    };
+    Some(Suppression {
+        rule: rule.to_string(),
+        reason,
+        target_line: 0,
+        comment_line: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'a'".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn raw_string_fences_hide_quotes() {
+        let toks = kinds(r####"let s = r##"a "quote" and a # fence"##; let x = 1;"####);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            1,
+            "one raw string: {toks:?}"
+        );
+        assert!(toks.contains(&(TokKind::Int, "1".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks,
+            vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())]
+        );
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("1.5 2e8 1.0e-3 7 0x1f 1..4 3f64 2u32");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "2e8", "1.0e-3", "3f64"]);
+        assert!(toks.contains(&(TokKind::Int, "0x1f".into())));
+        assert!(toks.contains(&(TokKind::Int, "2u32".into())));
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        let lexed = lex("let x = 1; // lint: allow(float-in-det, reason = \"why\")\n// lint: allow(wall-clock)\nlet y;");
+        assert_eq!(lexed.suppressions.len(), 2);
+        assert_eq!(lexed.suppressions[0].rule, "float-in-det");
+        assert_eq!(lexed.suppressions[0].reason.as_deref(), Some("why"));
+        assert_eq!(lexed.suppressions[0].target_line, 1, "trailing: own line");
+        assert_eq!(lexed.suppressions[1].rule, "wall-clock");
+        assert_eq!(lexed.suppressions[1].reason, None);
+        assert_eq!(
+            lexed.suppressions[1].target_line, 3,
+            "standalone: next line"
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! The static lock-order and lock-across-blocking checker for crates with
+//! a declared lock hierarchy.
+//!
+//! Acquisitions are `.lock()` / `.read()` / `.write()` calls with empty
+//! argument lists whose receiver's field name is resolvable — declared
+//! locks get their hierarchy rank, unknown receivers get a rank past the
+//! end so that *any* nesting involving them is out of order. Guard
+//! lifetimes are tracked structurally: a guard from a `let`-statement lives
+//! to the end of its enclosing block, a temporary dies at the next `;` at
+//! its own depth (so `for e in m.lock()… { … }` keeps the guard live across
+//! the body, while `m.lock().take();` drops it before the next statement).
+//!
+//! The checker is lightly interprocedural: a first pass computes, to a
+//! fixpoint over same-file calls, which declared locks each function may
+//! acquire; a call made while a guard is held is then checked against the
+//! callee's summary. Blocking calls (channel send/recv, thread join,
+//! socket/store IO — the committed [`crate::config::BlockingCall`] list)
+//! are flagged only at their direct site, so one suppression covers one
+//! pattern instead of cascading up the call chain.
+
+use std::collections::BTreeMap;
+
+use crate::config::{rules, Config, LockHierarchy};
+use crate::emit::Sink;
+use crate::lexer::{Tok, TokKind};
+use crate::scope::Scopes;
+
+/// Rank assigned to `.lock()` receivers that are not in the declared
+/// hierarchy: beyond every declared rank, so nesting them either way flags.
+const UNDECLARED: usize = usize::MAX;
+
+/// A lock guard currently held during the per-function walk.
+struct Held {
+    name: String,
+    rank: usize,
+    /// Brace depth the acquisition happened at.
+    depth: usize,
+    /// Temporaries die at the next `;` at `depth`; `let`-bound guards live
+    /// until the block at `depth` closes.
+    temp: bool,
+    line: u32,
+}
+
+/// Runs the lock checker over one file of a crate with hierarchy `h`.
+pub fn check_locks(sink: &mut Sink<'_>, tokens: &[Tok], scopes: &Scopes, h: &LockHierarchy) {
+    let summaries = fn_summaries(tokens, scopes, h);
+    for f in &scopes.fns {
+        if f.in_test {
+            continue;
+        }
+        walk_fn(sink, tokens, f.body_open, f.body_close, h, &summaries);
+    }
+}
+
+/// Which declared locks each function in this file may acquire,
+/// transitively over same-file calls (fixpoint).
+fn fn_summaries(
+    tokens: &[Tok],
+    scopes: &Scopes,
+    h: &LockHierarchy,
+) -> BTreeMap<String, Vec<String>> {
+    let mut acquires: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut calls: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for f in &scopes.fns {
+        let mut acq = Vec::new();
+        let mut callees = Vec::new();
+        let mut i = f.body_open;
+        while i <= f.body_close {
+            if let Some((name, _)) = acquisition_at(tokens, i) {
+                if h.order.contains(&name.as_str()) {
+                    acq.push(name);
+                }
+            } else if is_call_at(tokens, i) {
+                callees.push(tokens[i].text.clone());
+            }
+            i += 1;
+        }
+        acquires.entry(f.name.clone()).or_default().extend(acq);
+        calls.entry(f.name.clone()).or_default().extend(callees);
+    }
+    // Fixpoint: fold callee acquisitions into callers.
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = acquires.keys().cloned().collect();
+        for name in &names {
+            let callees = calls.get(name).cloned().unwrap_or_default();
+            for callee in callees {
+                let Some(extra) = acquires.get(&callee).cloned() else {
+                    continue;
+                };
+                let own = acquires.get_mut(name).expect("key from names");
+                for lock in extra {
+                    if !own.contains(&lock) {
+                        own.push(lock);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for set in acquires.values_mut() {
+        set.sort();
+        set.dedup();
+    }
+    acquires
+}
+
+/// Walks one function body, tracking held guards and flagging
+/// out-of-hierarchy nesting and blocking calls under a guard.
+fn walk_fn(
+    sink: &mut Sink<'_>,
+    tokens: &[Tok],
+    open: usize,
+    close: usize,
+    h: &LockHierarchy,
+    summaries: &BTreeMap<String, Vec<String>>,
+) {
+    let rank_of = |name: &str| {
+        h.order
+            .iter()
+            .position(|l| *l == name)
+            .unwrap_or(UNDECLARED)
+    };
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    // A guard is `let`-bound (lives to end of block) only when the
+    // acquisition is the let-statement's direct initialiser chain; once a
+    // control keyword intervenes (`let item = match rx.lock() { … }`) the
+    // guard is a scrutinee temporary that dies at the statement's `;`.
+    let mut stmt_is_let = false;
+    let mut stmt_has_control = false;
+    let mut i = open;
+    while i <= close && i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+            (stmt_is_let, stmt_has_control) = (false, false);
+        } else if t.is_punct('}') {
+            held.retain(|g| g.depth < depth);
+            depth = depth.saturating_sub(1);
+            (stmt_is_let, stmt_has_control) = (false, false);
+        } else if t.is_punct(';') {
+            held.retain(|g| !(g.temp && g.depth == depth));
+            (stmt_is_let, stmt_has_control) = (false, false);
+        } else if t.is_ident("let") {
+            stmt_is_let = true;
+        } else if matches!(t.text.as_str(), "match" | "if" | "while" | "loop" | "for")
+            && t.kind == TokKind::Ident
+        {
+            stmt_has_control = true;
+        } else if let Some((name, line)) = acquisition_at(tokens, i) {
+            let rank = rank_of(&name);
+            for g in &held {
+                // Out of order when the held lock ranks at or past the new
+                // one — and *any* nesting involving an undeclared lock
+                // (either side) is out of hierarchy by definition.
+                if g.rank >= rank || rank == UNDECLARED {
+                    let msg = if rank == UNDECLARED {
+                        format!(
+                            "`{name}.lock()` while holding `{}` (line {}): `{name}` is not in the declared hierarchy [{}]",
+                            g.name,
+                            g.line,
+                            h.order.join(" → ")
+                        )
+                    } else {
+                        format!(
+                            "`{name}` acquired while holding `{}` (line {}): declared order is [{}]",
+                            g.name,
+                            g.line,
+                            h.order.join(" → ")
+                        )
+                    };
+                    sink.emit(rules::LOCK_ORDER, line, i, msg);
+                }
+            }
+            held.push(Held {
+                name,
+                rank,
+                depth,
+                temp: !stmt_is_let || stmt_has_control,
+                line,
+            });
+        } else if let Some(what) = blocking_at(sink.cfg, tokens, i) {
+            if let Some(g) = held.last() {
+                sink.emit(
+                    rules::LOCK_BLOCKING,
+                    t.line,
+                    i,
+                    format!(
+                        "{what} `{}` while holding lock `{}` (line {}); release the guard first",
+                        t.text, g.name, g.line
+                    ),
+                );
+            }
+        } else if is_call_at(tokens, i) {
+            if let Some(extra) = summaries.get(&tokens[i].text) {
+                for lock in extra {
+                    let rank = rank_of(lock);
+                    for g in &held {
+                        if g.rank >= rank && g.name != *lock {
+                            sink.emit(
+                                rules::LOCK_ORDER,
+                                t.line,
+                                i,
+                                format!(
+                                    "call to `{}` (acquires `{lock}`) while holding `{}` (line {}): declared order is [{}]",
+                                    t.text,
+                                    g.name,
+                                    g.line,
+                                    h.order.join(" → ")
+                                ),
+                            );
+                        } else if g.name == *lock {
+                            sink.emit(
+                                rules::LOCK_ORDER,
+                                t.line,
+                                i,
+                                format!(
+                                    "call to `{}` re-acquires `{lock}` already held (line {}): self-deadlock",
+                                    t.text, g.line
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Is token `i` the method name of a guard acquisition
+/// (`recv.lock()` / `.read()` / `.write()` with an empty argument list)?
+/// Returns the receiver's resolved field name and the call's line.
+fn acquisition_at(tokens: &[Tok], i: usize) -> Option<(String, u32)> {
+    let t = tokens.get(i)?;
+    if !(t.is_ident("lock") || t.is_ident("read") || t.is_ident("write")) {
+        return None;
+    }
+    if !(tokens.get(i + 1)?.is_punct('(') && tokens.get(i + 2)?.is_punct(')')) {
+        return None;
+    }
+    if !tokens.get(i.checked_sub(1)?)?.is_punct('.') {
+        return None;
+    }
+    // Receiver: the identifier before the dot, looking through one `[…]`
+    // index (`slots[i].lock()`).
+    let mut j = i - 1; // the `.`
+    if j == 0 {
+        return None;
+    }
+    j -= 1;
+    if tokens[j].is_punct(']') {
+        let mut brackets = 1usize;
+        while j > 0 && brackets > 0 {
+            j -= 1;
+            if tokens[j].is_punct(']') {
+                brackets += 1;
+            } else if tokens[j].is_punct('[') {
+                brackets -= 1;
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    (tokens[j].kind == TokKind::Ident).then(|| (tokens[j].text.clone(), t.line))
+}
+
+/// Is token `i` a call head (`name(…)` or `.name(…)`) that the committed
+/// blocking-call list matches? Returns the call's description.
+fn blocking_at(cfg: &Config, tokens: &[Tok], i: usize) -> Option<&'static str> {
+    let t = tokens.get(i)?;
+    if t.kind != TokKind::Ident || !tokens.get(i + 1)?.is_punct('(') {
+        return None;
+    }
+    let receiver = (i >= 2 && tokens[i - 1].is_punct('.'))
+        .then(|| &tokens[i - 2])
+        .filter(|r| r.kind == TokKind::Ident)
+        .map(|r| r.text.as_str());
+    cfg.blocking
+        .iter()
+        .find(|b| {
+            b.name == t.text
+                && match b.receiver {
+                    None => true,
+                    Some(want) => receiver == Some(want),
+                }
+        })
+        .map(|b| b.what)
+}
+
+/// Is token `i` the head of a plain or method call (`f(…)` / `x.f(…)`),
+/// excluding acquisition/blocking forms handled elsewhere?
+fn is_call_at(tokens: &[Tok], i: usize) -> bool {
+    let Some(t) = tokens.get(i) else {
+        return false;
+    };
+    // `Type::method(…)` paths are included via their last segment; macro
+    // heads (`format!`) never match because `!` precedes their `(`.
+    t.kind == TokKind::Ident
+        && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && !matches!(
+            t.text.as_str(),
+            "if" | "while" | "for" | "match" | "return" | "loop"
+        )
+}

@@ -1,0 +1,166 @@
+//! Findings, the run report, and its text/JSON renderings.
+//!
+//! The JSON writer is hand-rolled (the crate is dependency-free by design)
+//! and canonical: findings are sorted by (file, line, rule) before
+//! rendering, so two runs over the same tree produce byte-identical
+//! reports — the same discipline every other serialized artefact in this
+//! workspace follows.
+
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id from [`crate::config::rules`].
+    pub rule: &'static str,
+    /// Enclosing item path ("" at file scope).
+    pub item: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One finding that an inline suppression (with a reason) accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the suppressed finding.
+    pub line: u32,
+    /// Rule id.
+    pub rule: &'static str,
+    /// The mandatory reason recorded in the comment.
+    pub reason: String,
+}
+
+/// The result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations (deny-worthy).
+    pub findings: Vec<Finding>,
+    /// Findings accepted by reasoned inline suppressions.
+    pub suppressed: Vec<Suppressed>,
+    /// Findings accepted by the committed allowlist.
+    pub allowed: u64,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u64,
+    /// Number of crates scanned.
+    pub crates_scanned: u64,
+}
+
+impl Report {
+    /// Sorts findings/suppressions into the canonical report order.
+    pub fn finalize(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.suppressed
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// The `file:line rule-id message` listing plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{} {} {}", f.file, f.line, f.rule, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "dhtm_lint: {} finding(s), {} suppressed, {} allowlisted; {} file(s) in {} crate(s)",
+            self.findings.len(),
+            self.suppressed.len(),
+            self.allowed,
+            self.files_scanned,
+            self.crates_scanned,
+        );
+        out
+    }
+
+    /// The canonical JSON report (`dhtm-lint-v1`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"version\":\"dhtm-lint-v1\"");
+        let _ = write!(
+            out,
+            ",\"files_scanned\":{},\"crates_scanned\":{},\"allowed\":{}",
+            self.files_scanned, self.crates_scanned, self.allowed
+        );
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"item\":{},\"message\":{}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.item),
+                json_str(&f.message)
+            );
+        }
+        out.push_str("],\"suppressed\":[");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"reason\":{}}}",
+                json_str(&s.file),
+                s.line,
+                json_str(s.rule),
+                json_str(&s.reason)
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_shape() {
+        let mut r = Report {
+            findings: vec![Finding {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "float-in-det",
+                item: "T::f".into(),
+                message: "a \"quoted\" message".into(),
+            }],
+            ..Report::default()
+        };
+        r.finalize();
+        let json = r.render_json();
+        assert!(json.starts_with("{\"version\":\"dhtm-lint-v1\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.ends_with("]}\n"));
+    }
+}

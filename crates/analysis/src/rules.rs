@@ -1,0 +1,194 @@
+//! Token-level determinism rules for deterministic-tier crates:
+//! float types/literals, iteration over unordered containers, and
+//! wall-clock/entropy sources.
+//!
+//! All three rules skip `#[cfg(test)]`/`#[test]` code (tests may average,
+//! time and randomise freely — shipped simulation state may not), honour
+//! the committed item allowlist, and accept reasoned inline suppressions.
+
+use crate::emit::Sink;
+use crate::lexer::{Tok, TokKind};
+
+/// Identifiers that name a wall-clock or entropy source. `Instant` and
+/// `SystemTime` only ever come from `std::time`; `thread_rng` and
+/// `RandomState` are the two entropy doors the standard library and the
+/// vendored rand stand-in expose.
+pub const WALL_CLOCK_IDENTS: &[(&str, &str)] = &[
+    ("Instant", "wall-clock time source `Instant`"),
+    ("SystemTime", "wall-clock time source `SystemTime`"),
+    ("thread_rng", "entropy source `thread_rng`"),
+    ("from_entropy", "entropy source `from_entropy`"),
+    ("RandomState", "randomly-seeded hasher `RandomState`"),
+];
+
+/// Methods whose call on a `HashMap`/`HashSet` observes its (per-process
+/// random) iteration order. Membership lookups (`get`, `contains_key`,
+/// `insert`, `remove`) stay legal.
+const UNORDERED_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Runs the deterministic-tier token rules over one file.
+pub fn check_deterministic(sink: &mut Sink<'_>, tokens: &[Tok]) {
+    let unordered = collect_unordered_bindings(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if t.text == "f32" || t.text == "f64" => {
+                sink.emit(
+                    crate::config::rules::FLOAT_IN_DET,
+                    t.line,
+                    i,
+                    format!(
+                        "`{}` in a deterministic-tier crate; keep simulation state integral (exact rationals/fixed point) or allowlist the reporting item",
+                        t.text
+                    ),
+                );
+            }
+            TokKind::Float => {
+                sink.emit(
+                    crate::config::rules::FLOAT_IN_DET,
+                    t.line,
+                    i,
+                    format!("float literal `{}` in a deterministic-tier crate", t.text),
+                );
+            }
+            TokKind::Ident => {
+                if let Some((_, what)) = WALL_CLOCK_IDENTS.iter().find(|(name, _)| t.text == *name)
+                {
+                    sink.emit(
+                        crate::config::rules::WALL_CLOCK,
+                        t.line,
+                        i,
+                        format!("{what} in a deterministic-tier crate"),
+                    );
+                }
+                check_unordered_iter(sink, tokens, i, &unordered);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects names bound to `HashMap`/`HashSet` in this file: field or
+/// binding type ascriptions (`held: HashMap<…>`, through `&`/`mut`) and
+/// constructor initialisations (`let m = HashMap::new()`).
+///
+/// A deliberately local heuristic: a map declared in one file and iterated
+/// from another is invisible to it — the workspace keeps its maps private
+/// to the structure that owns them, and the fixture tests pin exactly this
+/// contract.
+fn collect_unordered_bindings(tokens: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left over `&`, `mut`, `'a` to the ascription colon. A `::`
+        // immediately left means a path (`collections::HashMap`) — walk
+        // through it only for the `use`/qualified-path case by skipping
+        // nothing: paths are rejected below.
+        let mut j = i;
+        while j > 0
+            && (tokens[j - 1].is_punct('&')
+                || tokens[j - 1].is_ident("mut")
+                || tokens[j - 1].kind == TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j >= 2
+            && tokens[j - 1].is_punct(':')
+            && !tokens[j - 2].is_punct(':')
+            && tokens[j - 2].kind == TokKind::Ident
+        {
+            names.push(tokens[j - 2].text.clone());
+            continue;
+        }
+        // `name = HashMap::new()` / `with_capacity` / `default`.
+        if i >= 2 && tokens[i - 1].is_punct('=') && tokens[i - 2].kind == TokKind::Ident {
+            names.push(tokens[i - 2].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Flags `map.iter()`-family calls and `for _ in &map` loops on bindings
+/// known to be unordered containers.
+fn check_unordered_iter(sink: &mut Sink<'_>, tokens: &[Tok], i: usize, unordered: &[String]) {
+    let t = &tokens[i];
+    // `map.keys()` — an unordered method call: ident in the binding set,
+    // preceded by `.`, followed by `(`.
+    if UNORDERED_ITER_METHODS.contains(&t.text.as_str())
+        && i >= 2
+        && tokens[i - 1].is_punct('.')
+        && tokens[i - 2].kind == TokKind::Ident
+        && unordered.iter().any(|n| *n == tokens[i - 2].text)
+        && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+    {
+        sink.emit(
+            crate::config::rules::UNORDERED_ITER,
+            t.line,
+            i,
+            format!(
+                "iteration over unordered container `{}` via `.{}()`; iterate a sorted/indexed structure instead",
+                tokens[i - 2].text, t.text
+            ),
+        );
+    }
+    // `for _ in &map {` — direct loop over the container.
+    if t.is_ident("in") {
+        let mut j = i + 1;
+        while tokens
+            .get(j)
+            .is_some_and(|n| n.is_punct('&') || n.is_ident("mut"))
+        {
+            j += 1;
+        }
+        if let Some(name_tok) = tokens.get(j) {
+            if name_tok.kind == TokKind::Ident
+                && unordered.contains(&name_tok.text)
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct('{'))
+            {
+                sink.emit(
+                    crate::config::rules::UNORDERED_ITER,
+                    name_tok.line,
+                    j,
+                    format!(
+                        "`for … in` over unordered container `{}`; iterate a sorted/indexed structure instead",
+                        name_tok.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Checks that a crate-root file carries `#![forbid(unsafe_code)]`.
+pub fn check_forbid_unsafe(sink: &mut Sink<'_>, tokens: &[Tok]) {
+    let has = tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if !has && !tokens.is_empty() {
+        sink.emit(
+            crate::config::rules::FORBID_UNSAFE,
+            1,
+            0,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Item-context annotation over the token stream: for every token, which
+//! item (`Type::method`, free `fn`, `struct` body) encloses it, and whether
+//! it sits inside `#[cfg(test)]`/`#[test]` code.
+//!
+//! This is what lets the allowlist speak in item paths
+//! (`MemoryChannel::new`) instead of brittle line ranges, and what lets the
+//! determinism rules skip test modules wholesale: tests may average floats
+//! to their heart's content — shipped simulation state may not.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One function found in a file (used by the lock checker to bound its
+/// per-function walk).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's bare name.
+    pub name: String,
+    /// Full item path (`Inner::broadcast`).
+    pub item_path: String,
+    /// Token index of the `{` opening the body.
+    pub body_open: usize,
+    /// Token index of the matching `}` (exclusive end is `body_close + 1`).
+    pub body_close: usize,
+    /// True when the function is test-only code.
+    pub in_test: bool,
+}
+
+/// Per-token annotations plus the function table for one file.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    /// For each token index: index into `paths` of the enclosing item path
+    /// ("" when at file scope).
+    item_of: Vec<u32>,
+    /// Interned item paths.
+    paths: Vec<String>,
+    /// For each token index: inside test-only code?
+    test_of: Vec<bool>,
+    /// Every function body in the file.
+    pub fns: Vec<FnSpan>,
+}
+
+impl Scopes {
+    /// The enclosing item path of token `i` ("" at file scope).
+    pub fn item_path(&self, i: usize) -> &str {
+        &self.paths[self.item_of[i] as usize]
+    }
+
+    /// Is token `i` inside `#[cfg(test)]` / `#[test]` code?
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_of[i]
+    }
+}
+
+struct Frame {
+    /// Item path as of this frame (interned index).
+    path_idx: u32,
+    in_test: bool,
+    /// Set when this frame is a `fn` body, to close its `FnSpan`.
+    fn_idx: Option<usize>,
+}
+
+/// A parsed-but-not-yet-opened item header (`fn name (...)` before its
+/// `{`). Its path is computed up front so that the header's own tokens —
+/// parameter types, return type, where-clauses — already carry the item's
+/// path (the allowlist must reach `fn new(rate: f64)` signatures too).
+struct Pending {
+    name: String,
+    path_idx: u32,
+    is_fn: bool,
+    in_test: bool,
+}
+
+/// Annotates `tokens` with item paths, test-ness and function spans.
+pub fn annotate(tokens: &[Tok]) -> Scopes {
+    let mut scopes = Scopes {
+        item_of: Vec::with_capacity(tokens.len()),
+        paths: vec![String::new()],
+        test_of: Vec::with_capacity(tokens.len()),
+        fns: Vec::new(),
+    };
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut pending_test = false;
+    let mut i = 0usize;
+
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let cur_path = stack.last().map_or(0, |f| f.path_idx);
+        let cur_test = stack.last().is_some_and(|f| f.in_test);
+        // A pending item header claims its own signature tokens.
+        let eff_path = pending.as_ref().map_or(cur_path, |p| p.path_idx);
+        let eff_test = cur_test || pending.as_ref().is_some_and(|p| p.in_test);
+        scopes.item_of.push(eff_path);
+        scopes.test_of.push(eff_test);
+
+        match t.kind {
+            TokKind::Punct if t.is_punct('#') => {
+                // An attribute: `#[...]` or `#![...]`. A `test` identifier
+                // anywhere inside marks the next item as test-only
+                // (`#[cfg(test)]`, `#[test]`, `#[cfg(all(test, …))]`).
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+                    let (end, has_test) = scan_attr(tokens, j);
+                    if has_test {
+                        pending_test = true;
+                    }
+                    // Annotate the attribute's tokens and skip past it.
+                    while i < end.min(tokens.len()) {
+                        i += 1;
+                        if i < tokens.len() {
+                            scopes.item_of.push(cur_path);
+                            scopes.test_of.push(cur_test);
+                        }
+                    }
+                    continue;
+                }
+            }
+            TokKind::Ident => match t.text.as_str() {
+                "fn" => {
+                    if let Some(name_tok) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                        let name = name_tok.text.clone();
+                        let path_idx = child_path(&mut scopes.paths, cur_path, &name);
+                        pending = Some(Pending {
+                            name,
+                            path_idx,
+                            is_fn: true,
+                            in_test: cur_test || pending_test,
+                        });
+                        pending_test = false;
+                    }
+                }
+                // `impl` opens an item only at item position — in a return
+                // type (`-> impl Iterator`) a `fn` header is already
+                // pending and must not be clobbered.
+                "impl" if pending.is_none() => {
+                    let name = impl_self_type(tokens, i + 1);
+                    let path_idx = child_path(&mut scopes.paths, cur_path, &name);
+                    pending = Some(Pending {
+                        name,
+                        path_idx,
+                        is_fn: false,
+                        in_test: cur_test || pending_test,
+                    });
+                    pending_test = false;
+                }
+                "struct" | "enum" | "trait" | "union" if pending.is_none() => {
+                    if let Some(name_tok) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                        let name = name_tok.text.clone();
+                        let path_idx = child_path(&mut scopes.paths, cur_path, &name);
+                        pending = Some(Pending {
+                            name,
+                            path_idx,
+                            is_fn: false,
+                            in_test: cur_test || pending_test,
+                        });
+                        pending_test = false;
+                    }
+                }
+                "mod" if pending.is_none() => {
+                    pending = Some(Pending {
+                        name: String::new(),
+                        path_idx: cur_path,
+                        is_fn: false,
+                        in_test: cur_test || pending_test,
+                    });
+                    pending_test = false;
+                }
+                _ => {}
+            },
+            TokKind::Punct if t.is_punct('{') => {
+                let frame = match pending.take() {
+                    Some(p) => {
+                        let path_idx = p.path_idx;
+                        let fn_idx = p.is_fn.then(|| {
+                            scopes.fns.push(FnSpan {
+                                name: p.name.clone(),
+                                item_path: scopes.paths[path_idx as usize].clone(),
+                                body_open: i,
+                                body_close: i,
+                                in_test: p.in_test,
+                            });
+                            scopes.fns.len() - 1
+                        });
+                        Frame {
+                            path_idx,
+                            in_test: p.in_test,
+                            fn_idx,
+                        }
+                    }
+                    None => Frame {
+                        path_idx: cur_path,
+                        in_test: cur_test,
+                        fn_idx: None,
+                    },
+                };
+                // Re-annotate the `{` itself under the frame it opens, so a
+                // body's first line already carries the item path.
+                *scopes.item_of.last_mut().expect("pushed above") = frame.path_idx;
+                *scopes.test_of.last_mut().expect("pushed above") = frame.in_test;
+                stack.push(frame);
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                if let Some(frame) = stack.pop() {
+                    if let Some(fn_idx) = frame.fn_idx {
+                        scopes.fns[fn_idx].body_close = i;
+                    }
+                }
+            }
+            TokKind::Punct if t.is_punct(';') => {
+                // `struct Name;`, `struct Name(T);`, `mod name;`,
+                // `#[cfg(test)] use …;` — the item never opens a body, so
+                // any pending header or test marker dies with it.
+                pending = None;
+                pending_test = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    scopes
+}
+
+/// Scans an attribute starting at its `[` token; returns (index just past
+/// the matching `]`, whether the ident `test` appears inside).
+fn scan_attr(tokens: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i + 1, has_test);
+            }
+        } else if t.is_ident("test") {
+            has_test = true;
+        }
+        i += 1;
+    }
+    (i, has_test)
+}
+
+/// Extracts the `Self` type name from an `impl` header: the last identifier
+/// at angle-depth 0 before the body (after `for`, when present), so
+/// `impl<'a> SimObserver for ProgressObserver<'_>` yields `ProgressObserver`.
+fn impl_self_type(tokens: &[Tok], mut i: usize) -> String {
+    let mut angle = 0i32;
+    let mut last = String::new();
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if angle == 0 && (t.is_punct('{') || t.is_ident("where")) {
+            break;
+        }
+        match t.kind {
+            TokKind::Punct if t.is_punct('<') => angle += 1,
+            TokKind::Punct if t.is_punct('>') => angle = (angle - 1).max(0),
+            TokKind::Ident if angle == 0 => {
+                if t.text == "for" {
+                    last.clear();
+                } else if t.text != "dyn" && t.text != "mut" && t.text != "const" {
+                    last = t.text.clone();
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    last
+}
+
+/// Interns `base::name` (or just `name` at file scope); an empty name —
+/// an `impl` header whose type could not be resolved — keeps the base.
+fn child_path(paths: &mut Vec<String>, base: u32, name: &str) -> u32 {
+    if name.is_empty() {
+        return base;
+    }
+    let base_path = &paths[base as usize];
+    let path = if base_path.is_empty() {
+        name.to_string()
+    } else {
+        format!("{base_path}::{name}")
+    };
+    intern(paths, path)
+}
+
+fn intern(paths: &mut Vec<String>, path: String) -> u32 {
+    match paths.iter().position(|p| *p == path) {
+        Some(i) => i as u32,
+        None => {
+            paths.push(path);
+            (paths.len() - 1) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn path_at_ident(src: &str, ident: &str) -> (String, bool) {
+        let lexed = lex(src);
+        let scopes = annotate(&lexed.tokens);
+        let i = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .expect("marker ident present");
+        (scopes.item_path(i).to_string(), scopes.in_test(i))
+    }
+
+    #[test]
+    fn impl_method_path() {
+        let src = "impl<'a> Display for Channel<'a> { fn fmt(&self) { marker; } }";
+        assert_eq!(path_at_ident(src, "marker").0, "Channel::fmt");
+    }
+
+    #[test]
+    fn cfg_test_subtree_is_test() {
+        let src = "fn live() { a; }\n#[cfg(test)]\nmod tests {\n fn t() { marker; }\n}";
+        assert!(path_at_ident(src, "marker").1);
+        assert!(!path_at_ident(src, "a").1);
+    }
+
+    #[test]
+    fn struct_fields_carry_struct_path() {
+        let src = "pub struct BaseConfig { pub rate: f64 }";
+        assert_eq!(path_at_ident(src, "rate").0, "BaseConfig");
+    }
+
+    #[test]
+    fn fn_spans_recorded() {
+        let lexed = lex("fn a() { x; } impl T { fn b(&self) { y; } }");
+        let scopes = annotate(&lexed.tokens);
+        let names: Vec<_> = scopes.fns.iter().map(|f| f.item_path.clone()).collect();
+        assert_eq!(names, vec!["a", "T::b"]);
+        for f in &scopes.fns {
+            assert!(f.body_close > f.body_open);
+        }
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-baselines
 //!
 //! The comparison designs evaluated in Section V of the paper, all

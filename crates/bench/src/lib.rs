@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-bench
 //!
 //! The figure/table reproduction entry points for the paper's evaluation

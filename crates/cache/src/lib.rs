@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-cache
 //!
 //! Cache-hierarchy structures for the DHTM reproduction: the private L1 data

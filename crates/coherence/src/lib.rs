@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-coherence
 //!
 //! The MESI directory coherence protocol with forwarding, built over the

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm — Durable Hardware Transactional Memory
 //!
 //! A from-scratch reproduction of **"DHTM: Durable Hardware Transactional

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-crash
 //!
 //! The crash-injection and recovery-validation subsystem: the end-to-end

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-harness
 //!
 //! The declarative experiment-matrix runner behind every figure/table

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-htm
 //!
 //! Hardware-transactional-memory machinery shared by every HTM-based design

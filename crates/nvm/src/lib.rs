@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-nvm
 //!
 //! The persistent-memory substrate of the DHTM reproduction.

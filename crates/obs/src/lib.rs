@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-obs
 //!
 //! The observability layer: named probes, structured traces and profile

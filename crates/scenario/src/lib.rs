@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-scenario
 //!
 //! The typed scenario API: one serializable entry point —

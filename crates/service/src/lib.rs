@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Simulation-as-a-service for the DHTM reproduction.
 //!
 //! This crate turns the workspace's one execution path

@@ -166,6 +166,7 @@ impl Inner {
             Some(phase) => {
                 entry.phase = phase;
                 for sub in entry.subs.drain(..) {
+                    // lint: allow(lock-blocking, reason = "fan-out on an unbounded mpsc never blocks; the phase update and the notification must be atomic under `jobs` or a subscriber could miss its terminal event")
                     let _ = sub.send(ev.clone());
                 }
             }
@@ -174,6 +175,7 @@ impl Inner {
                     entry.phase = Phase::Running;
                 }
                 for sub in &entry.subs {
+                    // lint: allow(lock-blocking, reason = "fan-out on an unbounded mpsc never blocks; progress events must be sent under `jobs` so they cannot interleave with a terminal broadcast")
                     let _ = sub.send(ev.clone());
                 }
             }
@@ -476,6 +478,7 @@ fn worker_loop(inner: &Inner, work_rx: &Mutex<Receiver<WorkItem>>) {
         // once the sender is dropped (shutdown) *and* the queue is dry,
         // so queued work always drains first.
         let item = match work_rx.lock() {
+            // lint: allow(lock-blocking, reason = "shared-receiver pool: the one receiver is owned by whichever worker is idle, so recv under its lock is the drain protocol itself")
             Ok(rx) => rx.recv(),
             Err(_) => return,
         };
@@ -500,36 +503,27 @@ fn classify_and_subscribe(
     hash: u64,
     tx: &Sender<JobEvent>,
 ) -> Result<Classified, String> {
-    let mut jobs = inner.jobs.lock().expect("job table poisoned");
-    if let Some(entry) = jobs.get_mut(&hash) {
-        match &entry.phase {
-            Phase::Done(record) => {
-                Counters::bump(&inner.counters.hits_memory);
-                return Ok(Classified::Immediate(
-                    Arc::clone(record),
-                    Disposition::HitMemory,
-                ));
-            }
-            Phase::Queued | Phase::Running => {
-                entry.subs.push(tx.clone());
-                Counters::bump(&inner.counters.inflight_dedups);
-                return Ok(Classified::Wait(Disposition::Inflight));
-            }
-            Phase::Failed(prior) => {
-                // A previously failed job is retried as fresh work.
-                inner.log(&format!(
-                    "retrying {} (previously failed: {prior})",
-                    hash_hex(hash)
-                ));
-                entry.phase = Phase::Queued;
-                entry.subs.push(tx.clone());
-                enqueue(inner, spec, hash)?;
-                return Ok(Classified::Wait(Disposition::Queued));
-            }
+    // First pass: the in-memory job table. The guard is dropped before the
+    // store consultation below — holding `jobs` across disk IO would
+    // serialise every connection's classification behind the store.
+    {
+        let mut jobs = inner.jobs.lock().expect("job table poisoned");
+        if let Some(classified) = classify_in_table(inner, &mut jobs, spec, hash, tx) {
+            return classified;
         }
     }
-    // Not in the job table: consult the persistent store (verified).
-    match inner.store.load(spec) {
+    // Not in the job table: consult the persistent store (verified), with
+    // no lock held.
+    let loaded = inner.store.load(spec);
+    // Second pass: another connection may have classified this hash while
+    // we were reading the disk, so re-check the table before inserting —
+    // an existing entry wins over whatever we loaded (a verified store hit
+    // for the same content hash is byte-identical anyway).
+    let mut jobs = inner.jobs.lock().expect("job table poisoned");
+    if let Some(classified) = classify_in_table(inner, &mut jobs, spec, hash, tx) {
+        return classified;
+    }
+    match loaded {
         LoadOutcome::Hit(record) => {
             Counters::bump(&inner.counters.hits_disk);
             let record = Arc::new(*record);
@@ -562,6 +556,46 @@ fn classify_and_subscribe(
     }
 }
 
+/// Classifies `hash` against an existing job-table entry: memory hit,
+/// subscribe to the in-flight run, or re-enqueue a failed job. `None` when
+/// the table has no entry (the caller then consults the persistent store).
+fn classify_in_table(
+    inner: &Inner,
+    jobs: &mut HashMap<u64, JobEntry>,
+    spec: &SimSpec,
+    hash: u64,
+    tx: &Sender<JobEvent>,
+) -> Option<Result<Classified, String>> {
+    let entry = jobs.get_mut(&hash)?;
+    Some(match &entry.phase {
+        Phase::Done(record) => {
+            Counters::bump(&inner.counters.hits_memory);
+            Ok(Classified::Immediate(
+                Arc::clone(record),
+                Disposition::HitMemory,
+            ))
+        }
+        Phase::Queued | Phase::Running => {
+            entry.subs.push(tx.clone());
+            Counters::bump(&inner.counters.inflight_dedups);
+            Ok(Classified::Wait(Disposition::Inflight))
+        }
+        Phase::Failed(prior) => {
+            // A previously failed job is retried as fresh work.
+            inner.log(&format!(
+                "retrying {} (previously failed: {prior})",
+                hash_hex(hash)
+            ));
+            entry.phase = Phase::Queued;
+            entry.subs.push(tx.clone());
+            match enqueue(inner, spec, hash) {
+                Ok(()) => Ok(Classified::Wait(Disposition::Queued)),
+                Err(e) => Err(e),
+            }
+        }
+    })
+}
+
 fn enqueue(inner: &Inner, spec: &SimSpec, hash: u64) -> Result<(), String> {
     let guard = inner.work_tx.lock().expect("work channel poisoned");
     let tx = guard.as_ref().ok_or("server is shutting down")?;
@@ -574,6 +608,7 @@ fn enqueue(inner: &Inner, spec: &SimSpec, hash: u64) -> Result<(), String> {
         .peak_queue_depth
         .fetch_max(depth, Ordering::Relaxed);
     if tx
+        // lint: allow(lock-blocking, reason = "unbounded mpsc send never blocks; the sender lives inside `work_tx` so shutdown's take() atomically stops new work")
         .send(WorkItem {
             spec: spec.clone(),
             hash,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-sim
 //!
 //! The cycle-approximate multicore simulator that every evaluated design runs

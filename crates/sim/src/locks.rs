@@ -68,6 +68,7 @@ impl LockTable {
     /// Releases every lock held by `core`. Returns how many were released.
     pub fn release_all(&mut self, core: CoreId) -> usize {
         let before = self.held.len();
+        // lint: allow(unordered-iter, reason = "order-independent set subtraction with a pure predicate; no per-entry effect observes iteration order")
         self.held.retain(|_, &mut owner| owner != core);
         before - self.held.len()
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-types
 //!
 //! Foundational types shared by every crate in the DHTM reproduction

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dhtm-workloads
 //!
 //! The workloads of the paper's evaluation (Section V, Table IV), implemented

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate for the DHTM reproduction repository: re-exports the
 //! public API of the workspace so that the examples under `examples/` and the
 //! integration tests under `tests/` have a single import surface.

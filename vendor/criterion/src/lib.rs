@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the subset of the
 //! [`criterion`](https://crates.io/crates/criterion) API used by this
 //! workspace. The build container has no access to a crates registry, so

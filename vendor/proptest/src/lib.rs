@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the subset of the
 //! [`proptest`](https://crates.io/crates/proptest) API used by this
 //! workspace. The build container has no access to a crates registry, so

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the subset of the [`rand`](https://crates.io/crates/rand)
 //! 0.8 API used by this workspace. The build container has no access to a
 //! crates registry, so this crate is vendored in-tree.
